@@ -1,0 +1,10 @@
+"""Fig. 10 — class-count sweeps on SYN3/SYN4.
+
+Regenerates the paper's Fig. 10 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig10.txt.
+"""
+
+
+def test_fig10(run_paper_experiment):
+    report = run_paper_experiment("fig10")
+    assert report.strip()

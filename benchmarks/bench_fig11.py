@@ -1,0 +1,10 @@
+"""Fig. 11 — privacy-budget split sweep.
+
+Regenerates the paper's Fig. 11 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig11.txt.
+"""
+
+
+def test_fig11(run_paper_experiment):
+    report = run_paper_experiment("fig11")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Fig. 12 — parameter a/b sweeps.
+
+Regenerates the paper's Fig. 12 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig12.txt.
+"""
+
+
+def test_fig12(run_paper_experiment):
+    report = run_paper_experiment("fig12")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Fig. 5 — empirical variance vs PMI and class amount.
+
+Regenerates the paper's Fig. 5 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig5.txt.
+"""
+
+
+def test_fig5(run_paper_experiment):
+    report = run_paper_experiment("fig5")
+    assert report.strip()

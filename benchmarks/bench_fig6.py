@@ -1,0 +1,10 @@
+"""Fig. 6 — frequency-estimation RMSE vs epsilon.
+
+Regenerates the paper's Fig. 6 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig6.txt.
+"""
+
+
+def test_fig6(run_paper_experiment):
+    report = run_paper_experiment("fig6")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Fig. 7 — top-k F1/NCR vs epsilon on Anime/JD stand-ins.
+
+Regenerates the paper's Fig. 7 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig7.txt.
+"""
+
+
+def test_fig7(run_paper_experiment):
+    report = run_paper_experiment("fig7")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Fig. 8 — per-class F1 on the JD stand-in.
+
+Regenerates the paper's Fig. 8 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig8.txt.
+"""
+
+
+def test_fig8(run_paper_experiment):
+    report = run_paper_experiment("fig8")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Fig. 9 — top-k F1/NCR vs k on the JD stand-in.
+
+Regenerates the paper's Fig. 9 via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/fig9.txt.
+"""
+
+
+def test_fig9(run_paper_experiment):
+    report = run_paper_experiment("fig9")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Table I — variance coefficients (closed form vs paper).
+
+Regenerates the paper's Table I via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/table1.txt.
+"""
+
+
+def test_table1(run_paper_experiment):
+    report = run_paper_experiment("table1")
+    assert report.strip()

@@ -1,0 +1,10 @@
+"""Table II — complexity model + measured report bits.
+
+Regenerates the paper's Table II via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/table2.txt.
+"""
+
+
+def test_table2(run_paper_experiment):
+    report = run_paper_experiment("table2")
+    assert report.strip()

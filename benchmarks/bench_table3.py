@@ -1,0 +1,10 @@
+"""Table III — optimization ablation on the Anime stand-in.
+
+Regenerates the paper's Table III via :mod:`repro.bench.experiments`;
+the report is printed and saved to benchmarks/results/table3.txt.
+"""
+
+
+def test_table3(run_paper_experiment):
+    report = run_paper_experiment("table3")
+    assert report.strip()

@@ -1,0 +1,31 @@
+"""Shared machinery for the paper-reproduction benches.
+
+Each bench file regenerates one table/figure of the paper.  The heavy
+experiment body runs exactly once inside ``benchmark.pedantic`` (so
+pytest-benchmark reports its wall time without re-running it), and the
+resulting report is printed and persisted under ``benchmarks/results/``.
+
+Set ``REPRO_BENCH_SCALE=full`` for the paper-sized sweeps (minutes to
+hours); the default ``quick`` scale finishes the whole suite in a few
+minutes while preserving the paper's orderings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import emit, run_experiment
+
+
+@pytest.fixture
+def run_paper_experiment(benchmark):
+    """Run one experiment once, time it, print and persist the report."""
+
+    def runner(name: str, seed: int = 0) -> str:
+        report = benchmark.pedantic(
+            lambda: run_experiment(name, seed=seed), iterations=1, rounds=1
+        )
+        emit(name, report)
+        return report
+
+    return runner

@@ -1,0 +1,74 @@
+"""Classwise clinical statistics for diagnosis models (paper's intro).
+
+A hospital consortium trains an early-diagnosis model and needs the
+distribution of each test value *per outcome class* (healthy vs diabetic)
+— classwise frequencies, not global ones — without collecting raw
+records.  We run the per-feature protocol of the paper's Section VII on
+the Diabetes-like study and show (a) the RMSE per framework and (b) that
+the privately estimated class-conditional histogram preserves the shifted
+mode that makes the feature diagnostic.
+
+Run:  python examples/disease_diagnosis.py
+"""
+
+import numpy as np
+
+from repro import estimate_frequencies
+from repro.datasets import diabetes_like
+from repro.metrics import rmse
+
+
+def main() -> None:
+    rng = np.random.default_rng(3)
+    study = diabetes_like(scale=1.0, rng=rng)  # 100k patients, 8 features
+    print(f"study: {study.name} with {study.n_features} features")
+
+    epsilon = 2.0
+    print(f"\nper-framework RMSE at eps = {epsilon} (averaged over features):")
+    for framework in ("hec", "ptj", "pts", "pts-cp"):
+        errors = []
+        for data in study:
+            estimate = estimate_frequencies(
+                data, framework=framework, epsilon=epsilon,
+                rng=np.random.default_rng(11),
+            )
+            errors.append(rmse(estimate, data.pair_counts()))
+        print(f"  {framework:7s} mean RMSE = {np.mean(errors):9.1f}")
+
+    # Inspect a moderately wide feature (d = 97, glucose-like): does the
+    # private estimate preserve the diagnostic shift between the classes?
+    feature = [d for d in study if d.n_items == 97][0]
+    truth = feature.pair_counts().astype(np.float64)
+    estimate = np.mean(
+        [
+            estimate_frequencies(
+                feature, framework="pts-cp", epsilon=3.0,
+                rng=np.random.default_rng(5 + t),
+            )
+            for t in range(10)
+        ],
+        axis=0,
+    )
+    # Aggregate to a robust statistic: the share of each class's mass in
+    # the upper half of the value range.  Summing ~50 unbiased cell
+    # estimates averages the LDP noise away.
+    half = feature.n_items // 2
+
+    def upper_share(counts: np.ndarray, label: int) -> float:
+        total = counts[label].sum()
+        return float(counts[label, half:].sum() / max(total, 1.0))
+
+    print(f"\nfeature {feature.name}: share of mass in the upper value range")
+    print(
+        "  true:               "
+        f"healthy = {upper_share(truth, 0):5.2f}   diabetic = {upper_share(truth, 1):5.2f}"
+    )
+    print(
+        "  private (pts-cp):   "
+        f"healthy = {upper_share(estimate, 0):5.2f}   diabetic = {upper_share(estimate, 1):5.2f}"
+    )
+    print("\nthe diagnostic upward shift of the diabetic class survives ε-LDP.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""Quickstart: multi-class frequency estimation in a dozen lines.
+
+Each of 50,000 users holds a (class label, item) pair.  We estimate the
+per-class item counts under ε-LDP with all four frameworks and compare
+their RMSE — reproducing the paper's Fig. 6 ordering in miniature.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import LabelItemDataset, estimate_frequencies
+from repro.metrics import rmse
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # Synthesise 50k users over 3 classes x 64 items; class c prefers a
+    # different slice of the catalogue.
+    n_users, n_classes, n_items = 50_000, 3, 64
+    labels = rng.integers(0, n_classes, n_users)
+    base = rng.dirichlet(np.ones(n_items) * 0.3, size=n_classes)
+    items = np.array([rng.choice(n_items, p=base[label]) for label in labels])
+    data = LabelItemDataset(labels, items, n_classes, n_items, name="quickstart")
+
+    truth = data.pair_counts()
+    print(f"dataset: {data}")
+    print(f"true count of pair (class 0, item 0): {truth[0, 0]}")
+    print()
+
+    epsilon = 2.0
+    print(f"frequency estimation at eps = {epsilon}:")
+    for framework in ("hec", "ptj", "pts", "pts-cp"):
+        estimate = estimate_frequencies(
+            data, framework=framework, epsilon=epsilon, rng=rng
+        )
+        print(
+            f"  {framework:7s} RMSE = {rmse(estimate, truth):8.1f}   "
+            f"estimated (0,0) = {estimate[0, 0]:8.1f}"
+        )
+    print()
+    print("expected ordering (paper Fig. 6): hec worst; ptj best; pts-cp <= pts")
+
+
+if __name__ == "__main__":
+    main()

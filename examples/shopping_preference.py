@@ -1,0 +1,69 @@
+"""Shopping preference across age groups (the paper's JD motivation).
+
+A retailer wants each age group's top-20 products without learning any
+individual's purchases.  We run the paper's full optimized pipeline
+(global candidate generation + per-class shuffled-bucket mining with
+validity/correlated perturbation) on the JD-like workload and compare it
+with the PEM-based baseline — including the per-class view showing how
+the optimized PTS scheme still serves the small 46-55 and 56+ age groups
+that joint (PTJ) mining starves (paper Fig. 8).
+
+Run:  python examples/shopping_preference.py          (~1 minute)
+"""
+
+import numpy as np
+
+from repro.core.topk import MultiClassTopK
+from repro.datasets import jd_like
+from repro.metrics import average_over_classes, f1_score
+
+AGE_GROUPS = ["<=25", "26-35", "36-45", "46-55", ">=56"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(42)
+    data = jd_like(scale=0.05, rng=rng)  # ~420k purchases, 28k products
+    print(f"workload: {data}")
+    print(f"age-group sizes: {dict(zip(AGE_GROUPS, data.class_counts().tolist()))}")
+    print()
+
+    k, epsilon = 20, 6.0
+    truth = data.true_topk(k)
+
+    results = {}
+    for framework, optimized, label in (
+        ("pts", False, "PTS + PEM baseline"),
+        ("ptj", True, "PTJ-Shuffling+VP"),
+        ("pts", True, "PTS-Shuffling+VP+CP (paper)"),
+    ):
+        scheme = MultiClassTopK.for_framework(
+            framework,
+            k=k,
+            epsilon=epsilon,
+            n_classes=data.n_classes,
+            n_items=data.n_items,
+            optimized=optimized,
+            rng=np.random.default_rng(1),
+        )
+        mined = scheme.mine(data)
+        results[label] = mined
+        f1 = average_over_classes(mined, truth, "f1")
+        ncr = average_over_classes(mined, truth, "ncr")
+        print(f"{label:30s} F1 = {f1:.3f}  NCR = {ncr:.3f}")
+
+    print()
+    print(f"per-age-group F1 at eps = {epsilon} (paper Fig. 8 effect):")
+    header = "".join(f"{g:>8s}" for g in AGE_GROUPS)
+    print(f"{'method':30s}{header}")
+    for label, mined in results.items():
+        scores = [
+            f1_score(mined.get(c, []), truth[c]) for c in range(data.n_classes)
+        ]
+        print(f"{label:30s}" + "".join(f"{score:8.2f}" for score in scores))
+    print()
+    print("note how the joint (PTJ) scheme returns nothing for the small")
+    print("46-55 / >=56 groups, while the optimized PTS pipeline covers them.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""repro — Multi-class Item Mining under Local Differential Privacy.
+
+A from-scratch reproduction of the ICDE 2025 paper: LDP frequency oracles
+(GRR, SUE/OUE, OLH, RAPPOR, Hadamard response), the paper's validity and
+correlated perturbation mechanisms, the HEC/PTJ/PTS/PTS-CP multi-class
+frameworks, and the shuffling-based multi-class top-k mining pipeline,
+plus datasets, metrics and a bench harness regenerating every table and
+figure of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import LabelItemDataset, estimate_frequencies
+
+    rng = np.random.default_rng(7)
+    data = LabelItemDataset(
+        labels=rng.integers(0, 3, 10_000),
+        items=rng.integers(0, 50, 10_000),
+        n_classes=3,
+        n_items=50,
+    )
+    f_hat = estimate_frequencies(data, framework="pts-cp", epsilon=2.0, rng=rng)
+"""
+
+from .core.frameworks import (
+    HECFramework,
+    MulticlassFramework,
+    PTJFramework,
+    PTSCPFramework,
+    PTSFramework,
+    make_framework,
+)
+from .core.queries import estimate_frequencies, mine_topk
+from .datasets import LabelItemDataset
+from .exceptions import (
+    AggregationError,
+    ConfigurationError,
+    DomainError,
+    PrivacyBudgetError,
+    ProtocolError,
+    ReproError,
+)
+from .mechanisms import (
+    CorrelatedPerturbation,
+    GeneralizedRandomResponse,
+    OptimizedUnaryEncoding,
+    PrivacyBudget,
+    ValidityPerturbation,
+)
+from .types import INVALID_ITEM, DomainSpec, LabelItemPair
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "ConfigurationError",
+    "CorrelatedPerturbation",
+    "DomainError",
+    "DomainSpec",
+    "GeneralizedRandomResponse",
+    "HECFramework",
+    "INVALID_ITEM",
+    "LabelItemDataset",
+    "LabelItemPair",
+    "MulticlassFramework",
+    "OptimizedUnaryEncoding",
+    "PTJFramework",
+    "PTSCPFramework",
+    "PTSFramework",
+    "PrivacyBudget",
+    "PrivacyBudgetError",
+    "ProtocolError",
+    "ReproError",
+    "ValidityPerturbation",
+    "estimate_frequencies",
+    "make_framework",
+    "mine_topk",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Analysis utilities: PMI, closed-form theory tables, complexity model."""
+
+from .pmi import pmi, pmi_matrix
+
+__all__ = ["pmi", "pmi_matrix"]

@@ -1,0 +1,66 @@
+"""Command-line entry point: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-bench --list
+    repro-bench fig7
+    repro-bench table3 --scale full --seed 7
+    repro-bench all
+    python -m repro fig6           # equivalent module form
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .bench.experiments import EXPERIMENTS, run_experiment
+from .bench.reporting import emit
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=(
+            "Regenerate the evaluation of 'Multi-class Item Mining under "
+            "Local Differential Privacy' (ICDE 2025)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "full"),
+        default=None,
+        help="workload scale (default: REPRO_BENCH_SCALE or 'quick')",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="base random seed")
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiments and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list or args.experiment is None:
+        print("Available experiments:")
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:8s} {doc}")
+        return 0
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        if name not in EXPERIMENTS:
+            print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
+            return 2
+        emit(name, run_experiment(name, scale=args.scale, seed=args.seed))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

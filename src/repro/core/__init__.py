@@ -1,0 +1,42 @@
+"""The paper's contribution: multi-class item mining under LDP.
+
+* :mod:`repro.core.frameworks` — HEC / PTJ / PTS / PTS-CP frequency
+  estimation.
+* :mod:`repro.core.estimators` — the unbiased calibrations (Eqs. 4 and 6).
+* :mod:`repro.core.variance` — Theorems 4-10 and Table I closed forms.
+* :mod:`repro.core.topk` — the multi-class top-k mining schemes
+  (Algorithms 1-2, PEM baseline, candidate shuffling).
+* :mod:`repro.core.queries` — one-call high-level API.
+"""
+
+from .estimators import (
+    calibrate_cp,
+    calibrate_hec,
+    calibrate_ptj,
+    calibrate_pts,
+    estimate_class_sizes,
+)
+from .frameworks import (
+    FRAMEWORKS,
+    HECFramework,
+    MulticlassFramework,
+    PTJFramework,
+    PTSCPFramework,
+    PTSFramework,
+    make_framework,
+)
+
+__all__ = [
+    "FRAMEWORKS",
+    "HECFramework",
+    "MulticlassFramework",
+    "PTJFramework",
+    "PTSCPFramework",
+    "PTSFramework",
+    "calibrate_cp",
+    "calibrate_hec",
+    "calibrate_ptj",
+    "calibrate_pts",
+    "estimate_class_sizes",
+    "make_framework",
+]

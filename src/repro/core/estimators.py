@@ -1,0 +1,141 @@
+"""Unbiased frequency calibrations for the multi-class frameworks.
+
+These are the pure inversion formulas of paper Section VI-A, factored out
+of the framework classes so they can be tested algebraically and reused by
+the top-k pipeline:
+
+* :func:`calibrate_hec` — per-group calibration with the paper's ``c``
+  scaling (Section VI-A, first bullet).
+* :func:`calibrate_ptj` — the standard pure-protocol inversion over the
+  joint domain.
+* :func:`calibrate_pts` — Eq. (6): GRR label + OUE item.
+* :func:`calibrate_cp` — Eq. (4): the correlated mechanism (also available
+  as :meth:`repro.mechanisms.correlated.CorrelatedPerturbation.estimate`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AggregationError
+
+
+def _as_float(array: np.ndarray) -> np.ndarray:
+    return np.asarray(array, dtype=np.float64)
+
+
+def calibrate_hec(
+    group_support: np.ndarray,
+    group_sizes: np.ndarray,
+    n_total: int,
+    p: float,
+    q: float,
+) -> np.ndarray:
+    """HEC calibration ``f̂(C,I) = (c f̃(C,I) - N q) / (p - q)``.
+
+    ``group_support[g]`` is the support vector collected from group ``g``
+    (the group assigned to class ``g``).  With exactly equal groups the
+    paper's formula applies verbatim; for uneven groups each row is scaled
+    by its own ``N / group_size`` factor, which reduces to ``c`` in the
+    balanced case.
+
+    Note the estimator is unbiased only up to the random-item deniability
+    noise ``(N - n) / d`` per cell (paper Theorem 4) — HEC's fundamental
+    handicap, visible in Fig. 6.
+    """
+    support = _as_float(group_support)
+    sizes = _as_float(group_sizes)
+    if support.ndim != 2 or sizes.shape != (support.shape[0],):
+        raise AggregationError(
+            f"need (c, d) supports and (c,) group sizes, got {support.shape} "
+            f"and {sizes.shape}"
+        )
+    if (sizes <= 0).any():
+        raise AggregationError("every HEC group must contain at least one user")
+    scale = n_total / sizes
+    return (scale[:, None] * support - n_total * q) / (p - q)
+
+
+def calibrate_ptj(
+    support: np.ndarray, n_total: int, p: float, q: float, n_classes: int
+) -> np.ndarray:
+    """PTJ calibration ``f̂ = (f̃ - N q)/(p - q)`` reshaped to ``(c, d)``."""
+    support = _as_float(support).ravel()
+    if support.size % n_classes:
+        raise AggregationError(
+            f"joint support of size {support.size} does not divide into "
+            f"{n_classes} classes"
+        )
+    flat = (support - n_total * q) / (p - q)
+    return flat.reshape(n_classes, -1)
+
+
+def calibrate_pts(
+    pair_support: np.ndarray,
+    label_counts: np.ndarray,
+    n_total: int,
+    p1: float,
+    q1: float,
+    p2: float,
+    q2: float,
+) -> np.ndarray:
+    """Eq. (6): unbiased pair counts under GRR labels + OUE items.
+
+    ``pair_support[C', I]`` counts reports with perturbed label ``C'`` and
+    item bit ``I`` set; ``label_counts`` are the raw per-label report
+    counts ``ñ``.
+    """
+    support = _as_float(pair_support)
+    labels = _as_float(label_counts)
+    if support.ndim != 2 or labels.shape != (support.shape[0],):
+        raise AggregationError(
+            f"need (c, d) supports and (c,) label counts, got {support.shape} "
+            f"and {labels.shape}"
+        )
+    n_hat = (labels - n_total * q1) / (p1 - q1)
+    item_total_hat = (support.sum(axis=0) - n_total * q2) / (p2 - q2)
+    numerator = (
+        support
+        - n_hat[:, None] * q2 * (p1 - q1)
+        - item_total_hat[None, :] * q1 * (p2 - q2)
+        - n_total * q1 * q2
+    )
+    return numerator / ((p1 - q1) * (p2 - q2))
+
+
+def calibrate_cp(
+    item_support: np.ndarray,
+    label_counts: np.ndarray,
+    n_total: int,
+    p1: float,
+    q1: float,
+    p2: float,
+    q2: float,
+) -> np.ndarray:
+    """Eq. (4): unbiased pair counts under the correlated mechanism.
+
+    ``item_support[C', I]`` counts flag-filtered reports; ``label_counts``
+    are the raw per-label counts ``ñ``.
+    """
+    support = _as_float(item_support)
+    labels = _as_float(label_counts)
+    if support.ndim != 2 or labels.shape != (support.shape[0],):
+        raise AggregationError(
+            f"need (c, d) supports and (c,) label counts, got {support.shape} "
+            f"and {labels.shape}"
+        )
+    n_hat = (labels - n_total * q1) / (p1 - q1)
+    denominator = p1 * (1.0 - q2) * (p2 - q2)
+    cross = q2 * (p1 * (1.0 - q2) - q1 * (1.0 - p2))
+    numerator = (
+        support - n_total * q1 * q2 * (1.0 - p2) - n_hat[:, None] * cross
+    )
+    return numerator / denominator
+
+
+def estimate_class_sizes(
+    label_counts: np.ndarray, n_total: int, p1: float, q1: float
+) -> np.ndarray:
+    """Unbiased class sizes ``n̂ = (ñ - N q1)/(p1 - q1)`` (shared helper)."""
+    labels = _as_float(label_counts)
+    return (labels - n_total * q1) / (p1 - q1)

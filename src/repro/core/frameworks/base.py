@@ -1,0 +1,147 @@
+"""Framework base class for multi-class frequency estimation.
+
+A *framework* fixes how the label-item pair travels to the server (HEC's
+user partition, PTJ's joint domain, PTS's split budget, PTS-CP's
+correlated perturbation) and produces an unbiased ``(c, d)`` matrix of
+estimated pair counts from a :class:`~repro.datasets.base.LabelItemDataset`.
+
+Every framework supports two execution modes:
+
+``"simulate"`` (default)
+    Exact sufficient-statistic sampling — the aggregated supports are
+    drawn directly from the distribution the per-user protocol induces
+    (see :mod:`repro.mechanisms.base`).  Scales to millions of users.
+
+``"protocol"``
+    The literal wire protocol: one report per user through
+    ``privatize``/``aggregate``.  Slower; used by tests and small demos
+    to validate the simulate path.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ...datasets.base import LabelItemDataset
+from ...exceptions import ConfigurationError
+from ...mechanisms.base import check_domain_size, check_epsilon
+from ...rng import RngLike, ensure_rng
+
+#: The two execution modes accepted by every framework.
+MODES = ("simulate", "protocol")
+
+
+class MulticlassFramework(abc.ABC):
+    """Estimate the ``(c, d)`` pair-count matrix under ε-LDP.
+
+    Parameters
+    ----------
+    epsilon:
+        Total per-user privacy budget.
+    n_classes, n_items:
+        Domain sizes; must match the dataset passed to
+        :meth:`estimate_frequencies`.
+    mode:
+        ``"simulate"`` or ``"protocol"`` (see module docstring).
+    """
+
+    name: str = "framework"
+
+    def __init__(
+        self,
+        epsilon: float,
+        n_classes: int,
+        n_items: int,
+        mode: str = "simulate",
+        rng: RngLike = None,
+    ) -> None:
+        self.epsilon = check_epsilon(epsilon)
+        self.n_classes = check_domain_size(n_classes)
+        self.n_items = check_domain_size(n_items)
+        if mode not in MODES:
+            raise ConfigurationError(f"mode must be one of {MODES}, got {mode!r}")
+        self.mode = mode
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def estimate_frequencies(
+        self, dataset: LabelItemDataset, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Run the framework end to end and return estimated pair counts."""
+        self._check_dataset(dataset)
+        rng = rng if rng is not None else self.rng
+        if self.mode == "simulate":
+            return self._estimate_simulated(dataset, rng)
+        return self._estimate_protocol(dataset, rng)
+
+    @abc.abstractmethod
+    def communication_bits_per_user(self) -> int:
+        """Per-user report size in bits (Table II accounting)."""
+
+    # ------------------------------------------------------------------
+    # subclass hooks
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _estimate_simulated(
+        self, dataset: LabelItemDataset, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Sufficient-statistic path."""
+
+    @abc.abstractmethod
+    def _estimate_protocol(
+        self, dataset: LabelItemDataset, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Per-user report path."""
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _check_dataset(self, dataset: LabelItemDataset) -> None:
+        if dataset.n_classes != self.n_classes or dataset.n_items != self.n_items:
+            raise ConfigurationError(
+                f"framework configured for (c={self.n_classes}, d={self.n_items}) "
+                f"but dataset has (c={dataset.n_classes}, d={dataset.n_items})"
+            )
+        if dataset.n_users == 0:
+            raise ConfigurationError("dataset holds no users")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(epsilon={self.epsilon!r}, "
+            f"n_classes={self.n_classes!r}, n_items={self.n_items!r}, "
+            f"mode={self.mode!r})"
+        )
+
+
+def split_counts_into_groups(
+    pair_counts: np.ndarray, group_sizes: list[int], rng: np.random.Generator
+) -> np.ndarray:
+    """Exactly partition a ``(c, d)`` count matrix into user groups.
+
+    Returns ``(g, c, d)`` counts whose sum over axis 0 reproduces the
+    input.  Each group is a uniform random sample without replacement of
+    the user population, so per-group cell counts follow the multivariate
+    hypergeometric distribution — identical in law to shuffling the users
+    and slicing.
+    """
+    counts = np.asarray(pair_counts, dtype=np.int64)
+    remaining = counts.ravel().copy()
+    total = int(remaining.sum())
+    if sum(group_sizes) != total:
+        raise ConfigurationError(
+            f"group sizes sum to {sum(group_sizes)} but the dataset has {total} users"
+        )
+    out = np.empty((len(group_sizes), counts.size), dtype=np.int64)
+    for index, size in enumerate(group_sizes):
+        if size == int(remaining.sum()):
+            draw = remaining.copy()
+        else:
+            draw = rng.multivariate_hypergeometric(remaining, size, method="marginals")
+        out[index] = draw
+        remaining -= draw
+    return out.reshape(len(group_sizes), *counts.shape)

@@ -1,0 +1,97 @@
+"""High-level one-call API for the two multi-class item mining queries.
+
+These wrap the frameworks (frequency estimation, Section VI-A) and the
+top-k schemes (Section VI-B) behind two functions mirroring the paper's
+query types.  For fine-grained control instantiate the framework or
+scheme classes directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..datasets.base import LabelItemDataset
+from ..rng import RngLike, ensure_rng
+from .frameworks import make_framework
+
+
+def estimate_frequencies(
+    dataset: LabelItemDataset,
+    framework: str = "pts-cp",
+    epsilon: float = 1.0,
+    mode: str = "simulate",
+    label_fraction: Optional[float] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Multi-class frequency estimation (paper Definition 3).
+
+    Returns the unbiased ``(c, d)`` matrix of estimated pair counts
+    ``f̂(C, I)``.
+
+    Parameters
+    ----------
+    framework:
+        ``"hec"``, ``"ptj"``, ``"pts"`` or ``"pts-cp"`` (paper names).
+    epsilon:
+        Total per-user budget ε.
+    mode:
+        ``"simulate"`` (exact sufficient statistics, fast) or
+        ``"protocol"`` (literal per-user reports).
+    label_fraction:
+        ε₁/ε for the split-budget frameworks; defaults to the paper's 0.5.
+    """
+    rng = ensure_rng(rng)
+    fw = make_framework(
+        framework,
+        epsilon=epsilon,
+        n_classes=dataset.n_classes,
+        n_items=dataset.n_items,
+        mode=mode,
+        rng=rng,
+        label_fraction=label_fraction,
+    )
+    return fw.estimate_frequencies(dataset)
+
+
+def mine_topk(
+    dataset: LabelItemDataset,
+    k: int = 20,
+    framework: str = "pts",
+    epsilon: float = 4.0,
+    optimized: bool = True,
+    rng: RngLike = None,
+    **scheme_options,
+) -> dict[int, list[int]]:
+    """Multi-class top-k item mining (paper Definition 4).
+
+    Returns ``{class label: [top items, most frequent first]}``.
+
+    Parameters
+    ----------
+    framework:
+        ``"hec"``, ``"ptj"`` or ``"pts"``.
+    optimized:
+        ``True`` applies the paper's full optimization stack for the
+        framework (shuffling + validity perturbation, plus correlated
+        perturbation and global candidates for PTS); ``False`` runs the
+        PEM-based baseline.
+    scheme_options:
+        Forwarded to :class:`repro.core.topk.scheme.MultiClassTopK`
+        (e.g. ``a=0.2``, ``b=2.0``, ``label_fraction=0.5``).
+    """
+    from .topk.scheme import MultiClassTopK
+
+    rng = ensure_rng(rng)
+    scheme = MultiClassTopK.for_framework(
+        framework,
+        k=k,
+        epsilon=epsilon,
+        n_classes=dataset.n_classes,
+        n_items=dataset.n_items,
+        optimized=optimized,
+        rng=rng,
+        **scheme_options,
+    )
+    return scheme.mine(dataset)

@@ -1,0 +1,171 @@
+"""Algorithm 1 — global candidate generation.
+
+A sampled ``a`` fraction of the users runs the first ``IT_f = int(IT/2)``
+pruning iterations over the *entire* dataset: class-wise top items are
+typically globally frequent (popular goods are popular with every age
+group), so a global pass cheaply narrows the candidate set for every class
+at once.  Each participating user also perturbs her label (GRR, ε₁), from
+which the server estimates per-class sizes — the noise-level signal the
+``b`` rule of Algorithm 2 consumes.
+
+Bucket widths are ``4·k·|C|`` with the top ``2·k·|C|`` kept, halving the
+candidate set per iteration exactly like the per-class phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import DomainError
+from ...mechanisms.grr import GeneralizedRandomResponse
+from .pruning import IterationOutcome, bucket_prune_once, prefix_prune_once
+from .reporting import split_counts_over_iterations
+from .shuffling import BucketState
+
+
+@dataclass
+class CandidateGenerationResult:
+    """Output of the global phase.
+
+    Attributes
+    ----------
+    candidates:
+        Surviving item ids (bucket mode) or prefixes with their depth
+        (prefix mode; ``prefix_depth`` is then set).
+    class_size_estimates:
+        Unbiased per-class user counts among the phase's participants.
+    n_phase_users:
+        Number of users consumed by the phase.
+    seeds, bucket_states:
+        The per-iteration broadcast artifacts (Fig. 4's communication).
+    prefix_depth:
+        Depth of the returned prefixes (prefix mode only).
+    """
+
+    candidates: np.ndarray
+    class_size_estimates: np.ndarray
+    n_phase_users: int
+    seeds: list[int] = field(default_factory=list)
+    bucket_states: list[BucketState] = field(default_factory=list)
+    prefix_depth: Optional[int] = None
+
+    def class_fractions(self) -> np.ndarray:
+        """Estimated class proportions (clipped to a tiny positive floor
+        so downstream scaling never divides by zero)."""
+        est = np.maximum(self.class_size_estimates, 0.0)
+        total = est.sum()
+        if total <= 0:
+            return np.full(est.size, 1.0 / est.size)
+        return est / total
+
+
+def generate_candidates(
+    item_counts: np.ndarray,
+    label_counts: np.ndarray,
+    k: int,
+    n_iterations: int,
+    epsilon1: float,
+    epsilon2: float,
+    invalid_mode: str,
+    use_buckets: bool,
+    rng: np.random.Generator,
+    total_bits: Optional[int] = None,
+    start_prefixes: Optional[np.ndarray] = None,
+    start_depth: Optional[int] = None,
+) -> CandidateGenerationResult:
+    """Run Algorithm 1 on the global phase's user population.
+
+    Parameters
+    ----------
+    item_counts, label_counts:
+        Sufficient statistics of the ``a·N`` sampled users (full-domain
+        item counts and true label counts).
+    n_iterations:
+        ``IT_f``; zero returns the full domain untouched (used when the
+        "global" optimization is toggled off but class-size estimates are
+        still wanted).
+    use_buckets:
+        ``True`` = shuffled buckets (the optimized scheme); ``False`` =
+        prefix extension (ablation of the shuffling optimization), which
+        requires ``total_bits``/``start_prefixes``/``start_depth``.
+    """
+    counts = np.asarray(item_counts, dtype=np.int64)
+    labels = np.asarray(label_counts, dtype=np.int64)
+    n_classes = labels.size
+    n_users = int(counts.sum())
+    if n_users != int(labels.sum()):
+        raise DomainError(
+            f"item counts ({n_users}) and label counts ({int(labels.sum())}) "
+            "describe different populations"
+        )
+
+    # Label perturbation: every phase user reports a GRR label; the server
+    # inverts to unbiased class sizes (Algorithm 1 line 9).
+    if n_classes > 1:
+        label_oracle = GeneralizedRandomResponse(epsilon1, n_classes)
+        label_support = label_oracle.simulate_support(labels, rng=rng)
+        class_estimates = label_oracle.estimate(label_support, n_users)
+    else:
+        class_estimates = labels.astype(np.float64)
+
+    seeds: list[int] = []
+    states: list[BucketState] = []
+    if use_buckets:
+        candidates = np.arange(counts.size, dtype=np.int64)
+        if n_iterations > 0 and n_users > 0:
+            cohorts = split_counts_over_iterations(counts, n_iterations, rng)
+            for cohort in cohorts:
+                outcome = bucket_prune_once(
+                    candidates=candidates,
+                    cohort_item_counts=cohort,
+                    n_extra_invalid=0,
+                    n_buckets=4 * k * n_classes,
+                    keep=2 * k * n_classes,
+                    epsilon=epsilon2,
+                    invalid_mode=invalid_mode,
+                    rng=rng,
+                )
+                candidates = outcome.candidates
+                seeds.append(outcome.seed)
+                states.append(outcome.bucket_state)
+        return CandidateGenerationResult(
+            candidates=candidates,
+            class_size_estimates=np.asarray(class_estimates, dtype=np.float64),
+            n_phase_users=n_users,
+            seeds=seeds,
+            bucket_states=states,
+        )
+
+    # Prefix (PEM-structured) global phase for the shuffling ablation.
+    if total_bits is None or start_prefixes is None or start_depth is None:
+        raise DomainError(
+            "prefix-mode candidate generation needs total_bits, "
+            "start_prefixes and start_depth"
+        )
+    prefixes = np.asarray(start_prefixes, dtype=np.int64)
+    depth = int(start_depth)
+    if n_iterations > 0 and n_users > 0:
+        cohorts = split_counts_over_iterations(counts, n_iterations, rng)
+        for cohort in cohorts:
+            outcome: IterationOutcome = prefix_prune_once(
+                prefixes=prefixes,
+                depth=depth,
+                total_bits=total_bits,
+                cohort_item_counts=cohort,
+                n_extra_invalid=0,
+                keep=k * n_classes,  # PEM retention scaled to the c classes
+                epsilon=epsilon2,
+                invalid_mode=invalid_mode,
+                rng=rng,
+            )
+            prefixes = outcome.candidates
+            depth += 1
+    return CandidateGenerationResult(
+        candidates=prefixes,
+        class_size_estimates=np.asarray(class_estimates, dtype=np.float64),
+        n_phase_users=n_users,
+        prefix_depth=depth,
+    )

@@ -1,0 +1,191 @@
+"""Algorithm 2 — per-class top-k mining.
+
+After label routing (and optionally the Algorithm-1 global phase), each
+class group runs ``IT_r`` iterations:
+
+* iterations ``1 .. IT_r - 1`` prune with shuffled buckets (``4k`` wide,
+  keep ``2k``) under validity perturbation — validity is simply "item in
+  the candidate set", so foreign-label users whose (globally frequent)
+  item survived still contribute signal;
+* the **final** iteration estimates item supports directly over the
+  remaining candidates.  If the class's inflow is trustworthy
+  (``|D_C| <= b · |D'_C|``) the correlated mechanism is used — foreign
+  users become invalid, removing their noise; otherwise (noise level too
+  high) validity perturbation keeps them as signal.
+
+Because every calibration is affine within a class, rankings of raw
+flag-filtered supports equal rankings of calibrated estimates; the
+implementation therefore ranks supports directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import DomainError
+from .pruning import bucket_prune_once, estimate_final, prefix_prune_once
+from .reporting import split_counts_over_iterations
+
+
+@dataclass
+class ClassMiningData:
+    """One class group's per-user sufficient statistics.
+
+    ``native_counts[i]`` — users routed here whose *true* label matches
+    the group's class, by true item.  ``foreign_counts[i]`` — users routed
+    in by a label flip, by true item.  The distinction only matters in the
+    final iteration (CP invalidates foreigners; VP does not).
+    """
+
+    native_counts: np.ndarray
+    foreign_counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.native_counts = np.asarray(self.native_counts, dtype=np.int64)
+        self.foreign_counts = np.asarray(self.foreign_counts, dtype=np.int64)
+        if self.native_counts.shape != self.foreign_counts.shape:
+            raise DomainError("native/foreign count vectors must align")
+
+    @property
+    def n_users(self) -> int:
+        return int(self.native_counts.sum() + self.foreign_counts.sum())
+
+    def split(self, n_parts: int, rng: np.random.Generator) -> list["ClassMiningData"]:
+        """Random equal split into iteration cohorts (users appear once)."""
+        stacked = np.concatenate([self.native_counts, self.foreign_counts])
+        parts = split_counts_over_iterations(stacked, n_parts, rng)
+        d = self.native_counts.size
+        return [
+            ClassMiningData(native_counts=part[:d], foreign_counts=part[d:])
+            for part in parts
+        ]
+
+
+@dataclass
+class ClassMiningResult:
+    """Mined items plus the mechanism decision for one class."""
+
+    top_items: list[int]
+    used_cp: bool
+    support: np.ndarray
+    candidates: np.ndarray
+
+
+def mine_class_topk(
+    data: ClassMiningData,
+    candidates: np.ndarray,
+    k: int,
+    n_iterations: int,
+    epsilon2: float,
+    use_cp_final: bool,
+    invalid_mode: str,
+    rng: np.random.Generator,
+    use_buckets: bool = True,
+    total_bits: Optional[int] = None,
+    prefix_depth: Optional[int] = None,
+) -> ClassMiningResult:
+    """Run Algorithm 2 for one class.
+
+    Parameters
+    ----------
+    candidates:
+        Item ids (bucket mode) or prefixes at ``prefix_depth`` (prefix
+        mode) surviving so far.
+    n_iterations:
+        ``IT_r`` (>= 1); the last one is the estimation iteration.
+    use_cp_final:
+        The outcome of the ``b`` noise rule — ``True`` applies the
+        correlated mechanism in the final iteration.
+    invalid_mode:
+        Invalid handling in the *pruning* iterations and in a VP final
+        (``"vp"`` for the optimized scheme, ``"random"`` for ablations).
+    """
+    if n_iterations < 1:
+        raise DomainError(f"need >= 1 iteration, got {n_iterations}")
+    candidates = np.asarray(candidates, dtype=np.int64)
+    cohorts = data.split(n_iterations, rng)
+    depth = prefix_depth
+
+    # Pruning iterations: validity = "item in candidates", any origin.
+    for cohort in cohorts[:-1]:
+        combined = cohort.native_counts + cohort.foreign_counts
+        if use_buckets:
+            outcome = bucket_prune_once(
+                candidates=candidates,
+                cohort_item_counts=combined,
+                n_extra_invalid=0,
+                n_buckets=4 * k,
+                keep=2 * k,
+                epsilon=epsilon2,
+                invalid_mode=invalid_mode,
+                rng=rng,
+            )
+            candidates = outcome.candidates
+        else:
+            if total_bits is None or depth is None:
+                raise DomainError("prefix mode needs total_bits and prefix_depth")
+            outcome = prefix_prune_once(
+                prefixes=candidates,
+                depth=depth,
+                total_bits=total_bits,
+                cohort_item_counts=combined,
+                n_extra_invalid=0,
+                keep=k,  # PEM retention: only k prefixes survive a level
+                epsilon=epsilon2,
+                invalid_mode=invalid_mode,
+                rng=rng,
+            )
+            candidates = outcome.candidates
+            depth += 1
+
+    # Final estimation iteration.
+    final = cohorts[-1]
+    if not use_buckets:
+        if total_bits is None or depth is None:
+            raise DomainError("prefix mode needs total_bits and prefix_depth")
+        if depth != total_bits:
+            # The schedule should land exactly on full-length codes; guard
+            # against mis-sized phase splits.
+            raise DomainError(
+                f"prefix schedule ended at depth {depth}, expected {total_bits}"
+            )
+        candidates = candidates[candidates < final.native_counts.size]
+    if use_cp_final:
+        valid_counts = final.native_counts
+        n_invalid = int(final.foreign_counts.sum())
+        final_mode = "vp"  # CP's item stage *is* the validity perturbation.
+    else:
+        valid_counts = final.native_counts + final.foreign_counts
+        n_invalid = 0
+        final_mode = invalid_mode
+    top_items, support = estimate_final(
+        candidates=candidates,
+        valid_item_counts=valid_counts,
+        n_invalid=n_invalid,
+        epsilon=epsilon2,
+        invalid_mode=final_mode,
+        k=k,
+        rng=rng,
+    )
+    return ClassMiningResult(
+        top_items=top_items,
+        used_cp=use_cp_final,
+        support=support,
+        candidates=candidates,
+    )
+
+
+def noise_rule_use_cp(
+    inflow: float, expected_inflow: float, b: float
+) -> bool:
+    """Algorithm 2 line 8: apply CP only when the class's collected inflow
+    does not exceed ``b`` times its estimated size (otherwise the valid
+    fraction is too small for the correlated mechanism to be reliable)."""
+    if b <= 0:
+        raise DomainError(f"b must be positive, got {b}")
+    if expected_inflow <= 0:
+        return False
+    return inflow <= b * expected_inflow

@@ -1,0 +1,176 @@
+"""Single mining iterations: bucket pruning, prefix pruning, final ranking.
+
+These are the building blocks Algorithms 1 and 2 (and the PTJ scheme)
+compose.  Each function runs exactly one iteration for one user cohort:
+
+* :func:`bucket_prune_once` — the paper's shuffling iteration: candidates
+  are shuffled into buckets by a shared seed, users report their item's
+  bucket (VP or OUE+random-replacement), the lowest-support half of the
+  buckets is dropped.
+* :func:`prefix_prune_once` — a PEM iteration: users report their item's
+  current-length prefix, surviving prefixes are extended by one bit.
+* :func:`estimate_final` — the last iteration: users report their item
+  directly over the remaining candidates and the top-k is read off the
+  supports.  (All calibrations are affine per class, so ranking raw
+  supports is exactly equivalent to ranking calibrated estimates.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ...exceptions import DomainError
+from ...rng import derive_seed
+from .reporting import simulate_iteration_support, top_indices
+from .shuffling import BucketState, assign_buckets
+from .trie import extend_prefixes, prefix_counts
+
+
+@dataclass
+class IterationOutcome:
+    """What one pruning iteration produced."""
+
+    candidates: np.ndarray
+    support: np.ndarray
+    bucket_state: Optional[BucketState] = None
+    seed: Optional[int] = None
+
+
+def bucket_prune_once(
+    candidates: np.ndarray,
+    cohort_item_counts: np.ndarray,
+    n_extra_invalid: int,
+    n_buckets: int,
+    keep: int,
+    epsilon: float,
+    invalid_mode: str,
+    rng: np.random.Generator,
+) -> IterationOutcome:
+    """One shuffled-bucket pruning iteration (Algorithm 1/2 inner loop).
+
+    ``cohort_item_counts`` is the full-domain ``(d,)`` count vector of this
+    iteration's users; users holding items outside ``candidates`` are
+    invalid, plus ``n_extra_invalid`` who are invalid a priori (foreign
+    labels under HEC, pre-invalidated items, ...).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    counts = np.asarray(cohort_item_counts, dtype=np.int64)
+    seed = derive_seed(rng)
+    assignment = assign_buckets(candidates, n_buckets, seed)
+    candidate_counts = counts[candidates]
+    bucket_counts = assignment.bucket_counts(candidate_counts)
+    n_invalid = int(counts.sum() - candidate_counts.sum()) + int(n_extra_invalid)
+    support = simulate_iteration_support(
+        valid_counts=bucket_counts,
+        n_invalid=n_invalid,
+        epsilon=epsilon,
+        invalid_mode=invalid_mode,
+        rng=rng,
+        replacement_weights=assignment.bucket_sizes().astype(np.float64),
+    )
+    kept = top_indices(support, min(keep, assignment.n_buckets))
+    state = BucketState.from_kept(kept, assignment.n_buckets)
+    return IterationOutcome(
+        candidates=assignment.surviving_candidates(kept),
+        support=support,
+        bucket_state=state,
+        seed=seed,
+    )
+
+
+def prefix_prune_once(
+    prefixes: np.ndarray,
+    depth: int,
+    total_bits: int,
+    cohort_item_counts: np.ndarray,
+    n_extra_invalid: int,
+    keep: int,
+    epsilon: float,
+    invalid_mode: str,
+    rng: np.random.Generator,
+    extension_bits: int = 1,
+) -> IterationOutcome:
+    """One PEM prefix iteration: report at ``depth`` bits, keep ``keep``
+    prefixes, extend the survivors by ``extension_bits`` (the paper's
+    ``m``; extension is clipped at ``total_bits``).
+
+    Returned ``candidates`` are the extended prefixes at
+    ``depth + extension_bits`` (or the kept full codes when
+    ``depth == total_bits``).
+    """
+    if not 1 <= depth <= total_bits:
+        raise DomainError(f"depth must be in [1, {total_bits}], got {depth}")
+    prefixes = np.asarray(prefixes, dtype=np.int64)
+    counts = np.asarray(cohort_item_counts, dtype=np.int64)
+    all_prefix_counts = prefix_counts(counts, total_bits, depth)
+    valid = all_prefix_counts[prefixes]
+    n_invalid = int(counts.sum() - valid.sum()) + int(n_extra_invalid)
+    support = simulate_iteration_support(
+        valid_counts=valid,
+        n_invalid=n_invalid,
+        epsilon=epsilon,
+        invalid_mode=invalid_mode,
+        rng=rng,
+    )
+    kept = top_indices(support, min(keep, prefixes.size))
+    survivors = prefixes[kept]
+    if depth < total_bits:
+        survivors = extend_prefixes(survivors, min(extension_bits, total_bits - depth))
+    else:
+        survivors = np.sort(survivors)
+    return IterationOutcome(candidates=survivors, support=support)
+
+
+def estimate_final(
+    candidates: np.ndarray,
+    valid_item_counts: np.ndarray,
+    n_invalid: int,
+    epsilon: float,
+    invalid_mode: str,
+    k: int,
+    rng: np.random.Generator,
+) -> tuple[list[int], np.ndarray]:
+    """Final iteration: direct supports over the remaining candidates.
+
+    ``valid_item_counts`` is the full-domain ``(d,)`` vector of users whose
+    report is *valid* under the chosen mechanism's semantics — the caller
+    decides whether foreign-label users count (VP, exploiting globally
+    frequent items) or not (CP, last paragraph of Section VI-B);
+    ``n_invalid`` is everyone else in the cohort.
+
+    Returns the mined top-k (most supported first) and the support vector
+    aligned with ``candidates``.
+    """
+    candidates = np.asarray(candidates, dtype=np.int64)
+    if candidates.size == 0:
+        return [], np.zeros(0, dtype=np.int64)
+    counts = np.asarray(valid_item_counts, dtype=np.int64)
+    candidate_counts = counts[candidates]
+    n_invalid_total = int(counts.sum() - candidate_counts.sum()) + int(n_invalid)
+    support = simulate_iteration_support(
+        valid_counts=candidate_counts,
+        n_invalid=n_invalid_total,
+        epsilon=epsilon,
+        invalid_mode=invalid_mode,
+        rng=rng,
+    )
+    kept = top_indices(support, min(k, candidates.size))
+    return [int(v) for v in candidates[kept]], support
+
+
+def bucket_iteration_count(domain_size: int, k: int) -> int:
+    """Paper's iteration budget ``IT = ceil(log2(d / 4k)) + 1`` (>= 1).
+
+    After ``IT - 1`` halvings the candidate set is at most ``4k``, the
+    size the final estimation iteration works on.
+    """
+    if domain_size < 1:
+        raise DomainError(f"domain size must be >= 1, got {domain_size}")
+    if k < 1:
+        raise DomainError(f"k must be >= 1, got {k}")
+    if domain_size <= 4 * k:
+        return 1
+    return int(np.ceil(np.log2(domain_size / (4.0 * k)))) + 1

@@ -1,0 +1,167 @@
+"""Seeded candidate shuffling (paper Section VI-B, Fig. 4).
+
+Prefix-trie mining can permanently lose a genuinely frequent item whose
+siblings are rare (the Fig. 3 example): prefix frequency is the *sum* of
+the items beneath it, so structured groupings create false-positive
+prefixes.  The paper's fix is to group candidates into buckets *uniformly
+at random*: the server broadcasts only a random seed and the surviving
+bucket state per iteration, every user reconstructs the same shuffled
+bucket assignment locally, reports her item's bucket, and the server
+prunes the lowest-support half of the buckets.
+
+This module provides the deterministic shuffler (seed -> assignment), the
+compact :class:`BucketState` the server ships instead of the candidate
+list, and the closed-form success probability of the paper's Fig. 3
+worked example.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ...exceptions import DomainError
+
+
+@dataclass(frozen=True)
+class BucketAssignment:
+    """One iteration's shuffled grouping of candidates into buckets.
+
+    Attributes
+    ----------
+    candidates:
+        The candidate value ids, in their canonical (unshuffled) order.
+    bucket_of:
+        ``bucket_of[i]`` is the bucket index of ``candidates[i]``.
+    n_buckets:
+        Number of buckets actually used (``<= requested`` when there are
+        fewer candidates than buckets).
+    seed:
+        The shared random seed that reproduces this assignment.
+    """
+
+    candidates: np.ndarray
+    bucket_of: np.ndarray
+    n_buckets: int
+    seed: int
+
+    def bucket_counts(self, value_counts: np.ndarray) -> np.ndarray:
+        """Fold per-candidate user counts into per-bucket counts.
+
+        ``value_counts`` must be aligned with :attr:`candidates`.
+        """
+        counts = np.asarray(value_counts)
+        if counts.shape != self.candidates.shape:
+            raise DomainError(
+                f"value_counts shape {counts.shape} != candidates "
+                f"{self.candidates.shape}"
+            )
+        return np.bincount(
+            self.bucket_of, weights=counts.astype(np.float64), minlength=self.n_buckets
+        ).astype(np.int64)
+
+    def members(self, bucket: int) -> np.ndarray:
+        """Candidate ids assigned to ``bucket``."""
+        if not 0 <= bucket < self.n_buckets:
+            raise DomainError(f"bucket {bucket} outside [0, {self.n_buckets})")
+        return self.candidates[self.bucket_of == bucket]
+
+    def surviving_candidates(self, kept_buckets: np.ndarray) -> np.ndarray:
+        """Union of the members of the kept buckets (sorted)."""
+        keep = np.zeros(self.n_buckets, dtype=bool)
+        keep[np.asarray(kept_buckets, dtype=np.int64)] = True
+        return np.sort(self.candidates[keep[self.bucket_of]])
+
+    def bucket_sizes(self) -> np.ndarray:
+        """Number of candidates per bucket."""
+        return np.bincount(self.bucket_of, minlength=self.n_buckets)
+
+
+def assign_buckets(candidates: np.ndarray, n_buckets: int, seed: int) -> BucketAssignment:
+    """Deterministically shuffle ``candidates`` into near-equal buckets.
+
+    Both server and clients call this with the broadcast ``seed`` and
+    obtain the identical assignment — the shuffle itself costs one seed of
+    communication, not the candidate list (Fig. 4).
+    """
+    candidates = np.asarray(candidates, dtype=np.int64).ravel()
+    if candidates.size == 0:
+        raise DomainError("cannot bucket an empty candidate set")
+    if n_buckets < 1:
+        raise DomainError(f"need at least one bucket, got {n_buckets}")
+    n_buckets = min(n_buckets, candidates.size)
+    order = np.random.default_rng(seed).permutation(candidates.size)
+    bucket_of = np.empty(candidates.size, dtype=np.int64)
+    # Round-robin over the shuffled order gives bucket sizes differing by
+    # at most one.
+    bucket_of[order] = np.arange(candidates.size) % n_buckets
+    return BucketAssignment(
+        candidates=candidates, bucket_of=bucket_of, n_buckets=n_buckets, seed=seed
+    )
+
+
+@dataclass(frozen=True)
+class BucketState:
+    """The pruning outcome the server broadcasts after an iteration.
+
+    A bit per bucket: 1 = survived.  Together with the iteration seeds
+    this lets any client reconstruct the current candidate set, which is
+    the communication trick of Fig. 4.
+    """
+
+    bits: np.ndarray
+
+    @classmethod
+    def from_kept(cls, kept_buckets: np.ndarray, n_buckets: int) -> "BucketState":
+        bits = np.zeros(n_buckets, dtype=np.uint8)
+        bits[np.asarray(kept_buckets, dtype=np.int64)] = 1
+        return cls(bits=bits)
+
+    @property
+    def n_buckets(self) -> int:
+        return int(self.bits.size)
+
+    def kept_buckets(self) -> np.ndarray:
+        """Indices of surviving buckets."""
+        return np.flatnonzero(self.bits)
+
+    def communication_bits(self) -> int:
+        """Size of the broadcast state: one bit per bucket."""
+        return self.n_buckets
+
+
+# ----------------------------------------------------------------------
+# Fig. 3 combinatorics
+# ----------------------------------------------------------------------
+
+
+def pair_partition_count(n_items: int) -> int:
+    """Number of ways to split ``n_items`` (even) into unordered pairs.
+
+    ``C(n,2) C(n-2,2) ... / (n/2)! = n! / (2^{n/2} (n/2)!)``.
+    """
+    if n_items < 2 or n_items % 2:
+        raise DomainError(f"need a positive even item count, got {n_items}")
+    half = n_items // 2
+    return math.factorial(n_items) // (2**half * math.factorial(half))
+
+
+def fig3_success_probability(n_items: int = 8, n_blockers: int = 1) -> float:
+    """Success probability of the paper's Fig. 3 shuffling example.
+
+    Eight items are shuffled into four buckets of two; the true top-1 item
+    survives the bucket-level pruning unless it is paired with one of the
+    ``n_blockers`` items heavy enough to sink its bucket.  For the paper's
+    counts exactly one pairing is fatal, giving
+    ``(105 - 15)/105 = 0.857``.
+    """
+    total = pair_partition_count(n_items)
+    if not 0 <= n_blockers < n_items:
+        raise DomainError(f"n_blockers must be in [0, {n_items}), got {n_blockers}")
+    # Partitions that pair the top item with one specific blocker: fix that
+    # pair, partition the remaining n-2 items freely.
+    bad_per_blocker = pair_partition_count(n_items - 2)
+    bad = n_blockers * bad_per_blocker
+    return (total - bad) / total

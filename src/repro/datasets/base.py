@@ -1,0 +1,218 @@
+"""The label-item dataset container.
+
+Every framework and scheme in the library consumes a
+:class:`LabelItemDataset`: ``N`` users, each holding one label in
+``[0, c)`` and one item in ``[0, d)``.  The container pre-computes the
+``(c, d)`` pair-count matrix (the sufficient statistic every exact
+simulation path needs) and offers ground-truth queries used by the
+evaluation metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DomainError
+
+
+@dataclass
+class LabelItemDataset:
+    """``N`` users' label-item pairs over fixed finite domains.
+
+    Parameters
+    ----------
+    labels, items:
+        Integer arrays of equal length; entry ``u`` is user ``u``'s pair.
+    n_classes, n_items:
+        Domain sizes ``c`` and ``d``.  May exceed the maxima observed in
+        the data (domains are declared, not inferred).
+    name:
+        Optional human-readable tag used in reports.
+    """
+
+    labels: np.ndarray
+    items: np.ndarray
+    n_classes: int
+    n_items: int
+    name: str = "dataset"
+    _pair_counts: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.labels = np.asarray(self.labels, dtype=np.int64).ravel()
+        self.items = np.asarray(self.items, dtype=np.int64).ravel()
+        if self.labels.shape != self.items.shape:
+            raise DomainError(
+                f"labels ({self.labels.shape}) and items ({self.items.shape}) "
+                "must have the same length"
+            )
+        if self.n_classes < 1 or self.n_items < 1:
+            raise DomainError("domains must be non-empty")
+        if self.labels.size:
+            if self.labels.min() < 0 or self.labels.max() >= self.n_classes:
+                raise DomainError(
+                    f"labels outside [0, {self.n_classes}): "
+                    f"range [{self.labels.min()}, {self.labels.max()}]"
+                )
+            if self.items.min() < 0 or self.items.max() >= self.n_items:
+                raise DomainError(
+                    f"items outside [0, {self.n_items}): "
+                    f"range [{self.items.min()}, {self.items.max()}]"
+                )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[tuple[Hashable, Hashable]],
+        name: str = "dataset",
+    ) -> "LabelItemDataset":
+        """Build a dataset from raw (label, item) pairs of any hashable
+        values, assigning dense integer ids in first-seen order."""
+        label_ids: dict[Hashable, int] = {}
+        item_ids: dict[Hashable, int] = {}
+        labels: list[int] = []
+        items: list[int] = []
+        for label, item in pairs:
+            labels.append(label_ids.setdefault(label, len(label_ids)))
+            items.append(item_ids.setdefault(item, len(item_ids)))
+        if not labels:
+            raise DomainError("cannot build a dataset from zero pairs")
+        return cls(
+            labels=np.asarray(labels),
+            items=np.asarray(items),
+            n_classes=len(label_ids),
+            n_items=len(item_ids),
+            name=name,
+        )
+
+    @classmethod
+    def from_pair_counts(
+        cls,
+        pair_counts: np.ndarray,
+        name: str = "dataset",
+        rng: Optional[np.random.Generator] = None,
+    ) -> "LabelItemDataset":
+        """Materialise per-user arrays from a ``(c, d)`` count matrix.
+
+        User order is shuffled when ``rng`` is given (useful before user
+        partition); otherwise users are laid out in row-major block order.
+        """
+        counts = np.asarray(pair_counts, dtype=np.int64)
+        if counts.ndim != 2:
+            raise DomainError(f"pair_counts must be 2-D, got shape {counts.shape}")
+        if (counts < 0).any():
+            raise DomainError("pair counts must be non-negative")
+        c, d = counts.shape
+        flat = counts.ravel()
+        pair_index = np.repeat(np.arange(flat.size), flat)
+        if rng is not None:
+            rng.shuffle(pair_index)
+        labels, items = np.divmod(pair_index, d)
+        dataset = cls(labels=labels, items=items, n_classes=c, n_items=d, name=name)
+        dataset._pair_counts = counts.copy()
+        return dataset
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def n_users(self) -> int:
+        """Number of users ``N``."""
+        return int(self.labels.size)
+
+    def pair_counts(self) -> np.ndarray:
+        """``(c, d)`` matrix of true pair counts ``f(C, I)`` (cached)."""
+        if self._pair_counts is None:
+            flat = self.labels * self.n_items + self.items
+            counts = np.bincount(flat, minlength=self.n_classes * self.n_items)
+            self._pair_counts = counts.reshape(self.n_classes, self.n_items)
+        return self._pair_counts
+
+    def class_counts(self) -> np.ndarray:
+        """``(c,)`` true class sizes ``n_C``."""
+        return self.pair_counts().sum(axis=1)
+
+    def item_counts(self) -> np.ndarray:
+        """``(d,)`` true global item counts ``f(I)``."""
+        return self.pair_counts().sum(axis=0)
+
+    def true_topk(self, k: int) -> dict[int, list[int]]:
+        """Ground-truth top-``k`` item ids per class, most frequent first.
+
+        Ties break toward the smaller item id (stable, deterministic).
+        """
+        if k < 1:
+            raise DomainError(f"k must be >= 1, got {k}")
+        counts = self.pair_counts()
+        result: dict[int, list[int]] = {}
+        for label in range(self.n_classes):
+            order = np.lexsort((np.arange(self.n_items), -counts[label]))
+            result[label] = [int(i) for i in order[:k]]
+        return result
+
+    # ------------------------------------------------------------------
+    # restructuring
+    # ------------------------------------------------------------------
+    def shuffled(self, rng: np.random.Generator) -> "LabelItemDataset":
+        """Return a copy with user order randomly permuted."""
+        order = rng.permutation(self.n_users)
+        out = LabelItemDataset(
+            labels=self.labels[order],
+            items=self.items[order],
+            n_classes=self.n_classes,
+            n_items=self.n_items,
+            name=self.name,
+        )
+        out._pair_counts = self._pair_counts
+        return out
+
+    def split(self, fractions: Sequence[float], rng: np.random.Generator) -> list["LabelItemDataset"]:
+        """Randomly partition users into ``len(fractions)`` disjoint parts.
+
+        ``fractions`` must sum to (approximately) one; sizes are rounded
+        with the remainder going to the last part.
+        """
+        total = float(sum(fractions))
+        if not 0.999 <= total <= 1.001:
+            raise DomainError(f"fractions must sum to 1, got {total}")
+        order = rng.permutation(self.n_users)
+        sizes = [int(round(f * self.n_users)) for f in fractions[:-1]]
+        sizes.append(self.n_users - sum(sizes))
+        if min(sizes) < 0:
+            raise DomainError(f"rounded split produced a negative part: {sizes}")
+        parts = []
+        start = 0
+        for size in sizes:
+            index = order[start : start + size]
+            parts.append(
+                LabelItemDataset(
+                    labels=self.labels[index],
+                    items=self.items[index],
+                    n_classes=self.n_classes,
+                    n_items=self.n_items,
+                    name=self.name,
+                )
+            )
+            start += size
+        return parts
+
+    def subset(self, index: np.ndarray) -> "LabelItemDataset":
+        """Dataset restricted to the users selected by ``index``."""
+        return LabelItemDataset(
+            labels=self.labels[index],
+            items=self.items[index],
+            n_classes=self.n_classes,
+            n_items=self.n_items,
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"LabelItemDataset(name={self.name!r}, n_users={self.n_users}, "
+            f"n_classes={self.n_classes}, n_items={self.n_items})"
+        )

@@ -1,0 +1,80 @@
+"""Loading label-item pairs from delimited text files.
+
+If you have the paper's original Kaggle CSVs (or any two-column
+label,item export), these helpers turn them into
+:class:`~repro.datasets.base.LabelItemDataset` objects so every framework
+and bench in this repository runs on the real data unchanged.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Union
+
+from ..exceptions import DomainError
+from .base import LabelItemDataset
+
+
+def load_pairs_csv(
+    path: Union[str, Path],
+    label_column: Union[int, str] = 0,
+    item_column: Union[int, str] = 1,
+    delimiter: str = ",",
+    has_header: Optional[bool] = None,
+    max_rows: Optional[int] = None,
+    name: Optional[str] = None,
+) -> LabelItemDataset:
+    """Read ``(label, item)`` pairs from a delimited file.
+
+    Columns may be given by index or, when the file has a header row, by
+    name.  ``has_header=None`` auto-detects: string column selectors imply
+    a header; integer selectors imply none.
+    """
+    path = Path(path)
+    if has_header is None:
+        has_header = isinstance(label_column, str) or isinstance(item_column, str)
+
+    pairs: list[tuple[str, str]] = []
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle, delimiter=delimiter)
+        header: Optional[list[str]] = None
+        if has_header:
+            header = next(reader, None)
+            if header is None:
+                raise DomainError(f"{path} is empty")
+        label_index = _resolve_column(label_column, header, path)
+        item_index = _resolve_column(item_column, header, path)
+        for row_number, row in enumerate(reader):
+            if max_rows is not None and row_number >= max_rows:
+                break
+            if not row:
+                continue
+            try:
+                pairs.append((row[label_index], row[item_index]))
+            except IndexError as exc:
+                raise DomainError(
+                    f"{path}:{row_number + 1} has {len(row)} columns; "
+                    f"need indexes {label_index} and {item_index}"
+                ) from exc
+    if not pairs:
+        raise DomainError(f"{path} produced no label-item pairs")
+    return LabelItemDataset.from_pairs(pairs, name=name or path.stem)
+
+
+def _resolve_column(
+    selector: Union[int, str], header: Optional[list[str]], path: Path
+) -> int:
+    """Turn a column selector into a positional index."""
+    if isinstance(selector, int):
+        return selector
+    if header is None:
+        raise DomainError(
+            f"column {selector!r} requested by name but {path} has no header"
+        )
+    try:
+        return header.index(selector)
+    except ValueError as exc:
+        raise DomainError(
+            f"column {selector!r} not found in {path} header {header}"
+        ) from exc

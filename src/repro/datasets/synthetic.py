@@ -1,0 +1,296 @@
+"""Synthetic dataset generators (paper Section VII-A).
+
+Four families, mirroring the paper:
+
+* :func:`syn1` — variance analysis with controlled correlation strength:
+  4 classes x 4 items arranged as a Latin square of the pair counts
+  ``{10^3, 10^4, 10^5, 10^6}``, so every class size and every global item
+  count equals ``1.111e6`` while individual pair frequencies (and hence
+  PMI) vary over three orders of magnitude.
+* :func:`syn2` — variance analysis with varying class amount ``n``: one
+  probe item has the fixed pair count ``10^4`` in every class while class
+  sizes sweep ``{1.3e4, 2.11e5, 1.21e6, 3.01e6}``.
+* :func:`syn3` / :func:`syn4` — top-k sweeps over the number of classes:
+  20,000 items, five million instances (scalable), class sizes drawn from
+  a normal distribution, per-class item popularity exponential with scale
+  in ``[0.01, 0.1]``.  SYN3 plants globally frequent items (on average
+  eight shared among any two classes' top-20); SYN4 gives every class a
+  disjoint head.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import DomainError
+from ..rng import RngLike, ensure_rng
+from .base import LabelItemDataset
+
+#: Pair counts cycled through SYN1's Latin square.
+SYN1_PAIR_COUNTS: tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+#: Class sizes swept by SYN2.
+SYN2_CLASS_SIZES: tuple[int, ...] = (13_000, 211_000, 1_210_000, 3_010_000)
+
+#: SYN2's fixed probe-item pair count.
+SYN2_PROBE_COUNT: int = 10_000
+
+
+def syn1(scale: float = 1.0, rng: RngLike = None) -> LabelItemDataset:
+    """SYN1: Latin square of pair counts for the PMI/variance study.
+
+    ``scale`` shrinks every count proportionally (floor 1) so tests can
+    run the same shape cheaply.  Cell ``(c, i)`` holds
+    ``SYN1_PAIR_COUNTS[(i + c) % 4]`` users.
+    """
+    rng = ensure_rng(rng)
+    base = np.asarray(SYN1_PAIR_COUNTS, dtype=np.float64)
+    counts = np.empty((4, 4), dtype=np.int64)
+    for label in range(4):
+        counts[label] = np.maximum(1, np.round(np.roll(base, -label) * scale)).astype(
+            np.int64
+        )
+    return LabelItemDataset.from_pair_counts(counts, name="SYN1", rng=rng)
+
+
+def syn2(scale: float = 1.0, rng: RngLike = None) -> LabelItemDataset:
+    """SYN2: fixed probe-item count, class sizes spanning two decades.
+
+    Item 0 holds exactly ``SYN2_PROBE_COUNT * scale`` users in every
+    class; the remainder of each class is spread evenly over items 1-3.
+    """
+    rng = ensure_rng(rng)
+    probe = max(1, int(round(SYN2_PROBE_COUNT * scale)))
+    counts = np.zeros((4, 4), dtype=np.int64)
+    for label, class_size in enumerate(SYN2_CLASS_SIZES):
+        size = max(probe + 3, int(round(class_size * scale)))
+        counts[label, 0] = probe
+        rest = size - probe
+        counts[label, 1:] = rest // 3
+        counts[label, 1] += rest - 3 * (rest // 3)
+    return LabelItemDataset.from_pair_counts(counts, name="SYN2", rng=rng)
+
+
+def _exponential_rank_probabilities(
+    n_items: int, exp_scale: float
+) -> np.ndarray:
+    """Item-rank pmf ``P(r) ∝ exp(-r / (scale * d))``.
+
+    ``exp_scale`` is the paper's exponential scale in ``[0.01, 0.1]``;
+    smaller values concentrate more mass in the head.
+    """
+    if not 0.0 < exp_scale:
+        raise DomainError(f"exponential scale must be positive, got {exp_scale}")
+    ranks = np.arange(n_items, dtype=np.float64)
+    weights = np.exp(-ranks / (exp_scale * n_items))
+    return weights / weights.sum()
+
+
+def _normal_class_sizes(
+    n_users: int, n_classes: int, rng: np.random.Generator, spread: float = 0.25
+) -> np.ndarray:
+    """Class sizes ~ Normal(N/c, spread * N/c), clipped and renormalised."""
+    mean = n_users / n_classes
+    sizes = rng.normal(mean, spread * mean, size=n_classes)
+    sizes = np.clip(sizes, mean * 0.1, None)
+    sizes = np.round(sizes / sizes.sum() * n_users).astype(np.int64)
+    sizes[-1] += n_users - sizes.sum()
+    if (sizes <= 0).any():
+        raise DomainError("class-size sampling produced an empty class; increase N")
+    return sizes
+
+
+def _rank_to_item_maps(
+    n_classes: int,
+    n_items: int,
+    shared_head: int,
+    head_window: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Per-class permutations mapping popularity rank -> item id.
+
+    ``shared_head`` globally frequent items are placed at ranks drawn
+    uniformly from each class's top ``head_window`` ranks, yielding an
+    expected overlap of ``shared_head`` among any two classes' top-
+    ``head_window`` items (paper: 8 among top 20).  The remaining ranks
+    are filled with a per-class permutation of the other items.
+    """
+    if shared_head > head_window:
+        raise DomainError(
+            f"shared_head ({shared_head}) cannot exceed head_window ({head_window})"
+        )
+    if head_window > n_items:
+        raise DomainError("head_window larger than the item domain")
+    maps = np.empty((n_classes, n_items), dtype=np.int64)
+    # The globally frequent items get arbitrary (random) ids, shared by
+    # every class — contiguous ids would cluster them into one prefix
+    # subtree and mask PEM's structural weakness.
+    global_items = rng.choice(n_items, size=shared_head, replace=False)
+    non_global = np.setdiff1d(np.arange(n_items), global_items)
+    for label in range(n_classes):
+        own_items = rng.permutation(non_global)
+        ranks = np.empty(n_items, dtype=np.int64)
+        head_positions = rng.choice(head_window, size=shared_head, replace=False)
+        mask = np.zeros(n_items, dtype=bool)
+        mask[head_positions] = True
+        ranks[head_positions] = rng.permutation(global_items)
+        ranks[~mask] = own_items
+        maps[label] = ranks
+    return maps
+
+
+def exponential_multiclass(
+    n_users: int,
+    n_classes: int,
+    n_items: int,
+    exp_scales: Sequence[float],
+    class_sizes: Optional[Sequence[int]] = None,
+    shared_head: int = 0,
+    head_window: int = 20,
+    name: str = "exponential",
+    rng: RngLike = None,
+) -> LabelItemDataset:
+    """Exponential-popularity generator (the paper's synthetic family).
+
+    Per class ``c`` the item at popularity rank ``r`` has probability
+    ``∝ exp(-r / (exp_scales[c] * d))``; rank-to-item-id maps are random
+    permutations with an optional shared global head (see
+    :func:`_rank_to_item_maps`).  The exponential head is nearly flat
+    (adjacent ranks differ by a factor ``exp(-1/(s d))``), which is what
+    makes top-k identification genuinely hard under LDP noise — the
+    regime the paper's evaluation operates in.
+    """
+    rng = ensure_rng(rng)
+    if n_classes < 1:
+        raise DomainError("need at least one class")
+    scales = np.asarray(list(exp_scales), dtype=np.float64)
+    if scales.shape != (n_classes,):
+        raise DomainError(f"need one exponential scale per class, got {scales.shape}")
+    if class_sizes is None:
+        sizes = np.full(n_classes, n_users // n_classes, dtype=np.int64)
+        sizes[: n_users % n_classes] += 1
+    else:
+        sizes = np.asarray(class_sizes, dtype=np.int64)
+        if sizes.shape != (n_classes,):
+            raise DomainError(f"class_sizes must have length {n_classes}")
+        if int(sizes.sum()) != n_users:
+            raise DomainError("class_sizes must sum to n_users")
+    rank_maps = _rank_to_item_maps(n_classes, n_items, shared_head, head_window, rng)
+    counts = np.zeros((n_classes, n_items), dtype=np.int64)
+    for label in range(n_classes):
+        probs = _exponential_rank_probabilities(n_items, float(scales[label]))
+        rank_counts = rng.multinomial(int(sizes[label]), probs)
+        counts[label, rank_maps[label]] = rank_counts
+    return LabelItemDataset.from_pair_counts(counts, name=name, rng=rng)
+
+
+def _skewed_multiclass(
+    name: str,
+    n_users: int,
+    n_classes: int,
+    n_items: int,
+    shared_head: int,
+    rng: np.random.Generator,
+    head_window: int = 20,
+    scale_range: tuple[float, float] = (0.01, 0.1),
+) -> LabelItemDataset:
+    """Common SYN3/SYN4 machinery."""
+    if n_classes < 2:
+        raise DomainError("need at least two classes")
+    class_sizes = _normal_class_sizes(n_users, n_classes, rng)
+    scales = np.linspace(scale_range[0], scale_range[1], n_classes)
+    return exponential_multiclass(
+        n_users=int(class_sizes.sum()),
+        n_classes=n_classes,
+        n_items=n_items,
+        exp_scales=scales,
+        class_sizes=class_sizes,
+        shared_head=shared_head,
+        head_window=head_window,
+        name=name,
+        rng=rng,
+    )
+
+
+def syn3(
+    n_classes: int = 10,
+    n_users: int = 5_000_000,
+    n_items: int = 20_000,
+    rng: RngLike = None,
+    scale_range: tuple[float, float] = (0.01, 0.1),
+) -> LabelItemDataset:
+    """SYN3: class-count sweep **with** globally frequent items.
+
+    On average eight of the top-20 items are shared between any two
+    classes, mimicking the cross-class head overlap the paper observed in
+    real data.
+    """
+    rng = ensure_rng(rng)
+    return _skewed_multiclass(
+        name=f"SYN3(c={n_classes})",
+        n_users=n_users,
+        n_classes=n_classes,
+        n_items=n_items,
+        shared_head=8,
+        rng=rng,
+        scale_range=scale_range,
+    )
+
+
+def syn4(
+    n_classes: int = 10,
+    n_users: int = 5_000_000,
+    n_items: int = 20_000,
+    rng: RngLike = None,
+    scale_range: tuple[float, float] = (0.01, 0.1),
+) -> LabelItemDataset:
+    """SYN4: same construction as SYN3 but with disjoint class heads."""
+    rng = ensure_rng(rng)
+    return _skewed_multiclass(
+        name=f"SYN4(c={n_classes})",
+        n_users=n_users,
+        n_classes=n_classes,
+        n_items=n_items,
+        shared_head=0,
+        rng=rng,
+        scale_range=scale_range,
+    )
+
+
+def zipf_multiclass(
+    n_users: int,
+    n_classes: int,
+    n_items: int,
+    zipf_s: float = 1.2,
+    class_sizes: Optional[Sequence[int]] = None,
+    shared_head: int = 0,
+    head_window: int = 20,
+    name: str = "zipf",
+    rng: RngLike = None,
+) -> LabelItemDataset:
+    """General Zipf-popularity generator used by examples and tests.
+
+    ``P(rank r) ∝ (r + 1)^{-s}``; per-class rank-to-item maps follow the
+    same shared-head construction as SYN3/SYN4.
+    """
+    rng = ensure_rng(rng)
+    if class_sizes is None:
+        sizes = np.full(n_classes, n_users // n_classes, dtype=np.int64)
+        sizes[: n_users % n_classes] += 1
+    else:
+        sizes = np.asarray(class_sizes, dtype=np.int64)
+        if sizes.shape != (n_classes,):
+            raise DomainError(f"class_sizes must have length {n_classes}")
+        if int(sizes.sum()) != n_users:
+            raise DomainError("class_sizes must sum to n_users")
+    ranks = np.arange(n_items, dtype=np.float64) + 1.0
+    probs = ranks**-zipf_s
+    probs /= probs.sum()
+    rank_maps = _rank_to_item_maps(n_classes, n_items, shared_head, head_window, rng)
+    counts = np.zeros((n_classes, n_items), dtype=np.int64)
+    for label in range(n_classes):
+        rank_counts = rng.multinomial(int(sizes[label]), probs)
+        counts[label, rank_maps[label]] = rank_counts
+    return LabelItemDataset.from_pair_counts(counts, name=name, rng=rng)

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type to handle anything that goes wrong inside the
+privacy pipeline while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class PrivacyBudgetError(ReproError, ValueError):
+    """An invalid privacy budget was supplied (non-positive, NaN, ...)."""
+
+
+class DomainError(ReproError, ValueError):
+    """A value lies outside the declared item/label domain, or the domain
+    itself is malformed (e.g. non-positive size)."""
+
+
+class AggregationError(ReproError, ValueError):
+    """Server-side aggregation received reports that are inconsistent with
+    the mechanism configuration (wrong shape, wrong domain, ...)."""
+
+
+class ProtocolError(ReproError, RuntimeError):
+    """A multi-round protocol (e.g. top-k mining) was driven in an invalid
+    order, such as estimating before any data was collected."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A framework or scheme was constructed with incompatible options."""

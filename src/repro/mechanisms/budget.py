@@ -1,0 +1,63 @@
+"""Privacy-budget bookkeeping.
+
+The PTS family splits the total budget ε between label perturbation (ε₁)
+and item perturbation (ε₂) with ε = ε₁ + ε₂.  The paper sets
+ε₁ = ε₂ = ε/2 by default and sweeps the split fraction in Fig. 11; these
+helpers centralise that logic and its validation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import PrivacyBudgetError
+from .base import check_epsilon
+
+
+def split_budget(epsilon: float, label_fraction: float = 0.5) -> tuple[float, float]:
+    """Split ε into ``(ε₁, ε₂) = (p·ε, (1-p)·ε)`` for label/item use.
+
+    ``label_fraction`` is the paper's parameter *p* from Fig. 11 and must
+    lie strictly inside ``(0, 1)`` so both halves stay positive.
+    """
+    epsilon = check_epsilon(epsilon)
+    if not 0.0 < label_fraction < 1.0:
+        raise PrivacyBudgetError(
+            f"label_fraction must be in (0, 1), got {label_fraction}"
+        )
+    epsilon1 = epsilon * label_fraction
+    return epsilon1, epsilon - epsilon1
+
+
+@dataclass(frozen=True)
+class PrivacyBudget:
+    """An ε budget with an explicit label/item split.
+
+    ``PrivacyBudget(4.0)`` gives the paper's default even split;
+    ``PrivacyBudget(4.0, label_fraction=0.3)`` reproduces a Fig. 11 sweep
+    point.
+    """
+
+    epsilon: float
+    label_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_epsilon(self.epsilon)
+        if not 0.0 < self.label_fraction < 1.0:
+            raise PrivacyBudgetError(
+                f"label_fraction must be in (0, 1), got {self.label_fraction}"
+            )
+
+    @property
+    def epsilon1(self) -> float:
+        """Label-perturbation budget ε₁."""
+        return self.epsilon * self.label_fraction
+
+    @property
+    def epsilon2(self) -> float:
+        """Item-perturbation budget ε₂ = ε - ε₁."""
+        return self.epsilon - self.epsilon1
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(ε₁, ε₂)``."""
+        return (self.epsilon1, self.epsilon2)

@@ -1,0 +1,134 @@
+"""Generalized Randomized Response (GRR, a.k.a. k-RR / direct encoding).
+
+The user reports her true value with probability ``p = e^eps / (e^eps + d - 1)``
+and any other fixed value with probability ``q = 1 / (e^eps + d - 1)``.
+GRR is the variance-optimal oracle for small domains (Wang et al., USENIX
+Security 2017) and is the label perturbation used by the paper's PTS and
+correlated mechanisms.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..exceptions import AggregationError
+from ..rng import RngLike
+from .base import (
+    FrequencyOracle,
+    calibrate_counts,
+    check_domain_size,
+    pure_protocol_variance,
+)
+
+
+class GeneralizedRandomResponse(FrequencyOracle):
+    """ε-LDP randomized response over a domain of size ``d``.
+
+    For ``d == 1`` the report is always the single domain value; the
+    mechanism is then trivially private (it releases nothing).
+    """
+
+    name = "grr"
+
+    def __init__(self, epsilon: float, domain_size: int, rng: RngLike = None) -> None:
+        super().__init__(epsilon, domain_size, rng)
+        e = math.exp(self.epsilon)
+        d = self.domain_size
+        if d == 1:
+            self.p = 1.0
+            self.q = 0.0
+        else:
+            self.p = e / (e + d - 1.0)
+            self.q = 1.0 / (e + d - 1.0)
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def privatize(self, value: int) -> int:
+        value = self._check_value(value)
+        d = self.domain_size
+        if d == 1:
+            return value
+        if self.rng.random() < self.p:
+            return value
+        # Uniform over the other d-1 values: draw in [0, d-1) and skip self.
+        other = int(self.rng.integers(0, d - 1))
+        return other + (other >= value)
+
+    def privatize_many(self, values: np.ndarray) -> list[int]:
+        values = np.asarray(values, dtype=np.int64).ravel()
+        for v in values:
+            self._check_value(int(v))
+        d = self.domain_size
+        if d == 1:
+            return [0] * len(values)
+        keep = self.rng.random(len(values)) < self.p
+        others = self.rng.integers(0, d - 1, size=len(values))
+        others = others + (others >= values)
+        out = np.where(keep, values, others)
+        return [int(v) for v in out]
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def aggregate(self, reports: Iterable[int]) -> np.ndarray:
+        reports = np.asarray(list(reports), dtype=np.int64)
+        if reports.size and (reports.min() < 0 or reports.max() >= self.domain_size):
+            raise AggregationError("GRR report outside domain")
+        return np.bincount(reports, minlength=self.domain_size).astype(np.int64)
+
+    def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
+        if self.domain_size == 1:
+            return np.asarray(support, dtype=np.float64)
+        return calibrate_counts(support, n, self.p, self.q)
+
+    # ------------------------------------------------------------------
+    # exact simulation
+    # ------------------------------------------------------------------
+    def simulate_support(
+        self, true_counts: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Sample support counts exactly.
+
+        Keepers are binomial per value; each leaver picks a uniformly
+        random *other* value.  Cost is ``O(d + L)`` where ``L`` is the
+        number of leavers, so the path is exact even for large domains.
+        """
+        rng = rng if rng is not None else self.rng
+        counts = self._check_counts(true_counts)
+        d = self.domain_size
+        if d == 1:
+            return counts.copy()
+        stay = rng.binomial(counts, self.p)
+        leavers = counts - stay
+        support = stay.astype(np.int64)
+        total_leavers = int(leavers.sum())
+        if total_leavers:
+            origins = np.repeat(np.arange(d), leavers)
+            destinations = rng.integers(0, d - 1, size=total_leavers)
+            destinations = destinations + (destinations >= origins)
+            support += np.bincount(destinations, minlength=d)
+        return support
+
+    # ------------------------------------------------------------------
+    # theory & accounting
+    # ------------------------------------------------------------------
+    def variance(self, n: int, true_count: float = 0.0) -> float:
+        if self.domain_size == 1:
+            return 0.0
+        return pure_protocol_variance(n, self.p, self.q, true_count)
+
+    def communication_bits(self) -> int:
+        return max(1, math.ceil(math.log2(self.domain_size)))
+
+
+def grr_probabilities(epsilon: float, domain_size: int) -> tuple[float, float]:
+    """Return GRR's ``(p, q)`` without building a mechanism object."""
+    e = math.exp(epsilon)
+    d = check_domain_size(domain_size)
+    if d == 1:
+        return 1.0, 0.0
+    return e / (e + d - 1.0), 1.0 / (e + d - 1.0)

@@ -1,0 +1,140 @@
+"""One-shot RAPPOR (Bloom-filter randomized response).
+
+The value is hashed by ``h`` hash functions into an ``m``-bit Bloom filter
+and each bit is randomised symmetrically with flip parameter ``f``:
+``Pr[bit stays 1] = 1 - f/2``, ``Pr[0 -> 1] = f/2``.  For the one-shot
+variant (no permanent/instantaneous split) this satisfies ε-LDP with
+``eps = 2h * ln((1 - f/2) / (f/2))``.
+
+Decoding solves a non-negative least-squares system on the expected bit
+counts (the paper's deployments use lasso; NNLS gives the same shape
+without a regularisation hyper-parameter).  RAPPOR is Google Chrome's
+collector cited in the paper's introduction; it is included as a substrate
+baseline, not used by the multi-class frameworks themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..exceptions import AggregationError
+from ..rng import RngLike
+from .base import FrequencyOracle
+
+_PRIME = (1 << 61) - 1
+
+
+class Rappor(FrequencyOracle):
+    """One-shot RAPPOR with ``h`` hashes into ``m`` Bloom bits."""
+
+    name = "rappor"
+
+    def __init__(
+        self,
+        epsilon: float,
+        domain_size: int,
+        n_hashes: int = 2,
+        n_bits: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(epsilon, domain_size, rng)
+        if n_hashes < 1:
+            raise ValueError(f"need at least one hash, got {n_hashes}")
+        self.n_hashes = int(n_hashes)
+        self.n_bits = int(n_bits) if n_bits is not None else max(8, 2 * self.domain_size)
+        # eps = 2h ln((1-f/2)/(f/2))  =>  f/2 = 1/(e^{eps/2h} + 1)
+        half_f = 1.0 / (math.exp(self.epsilon / (2.0 * self.n_hashes)) + 1.0)
+        self.p = 1.0 - half_f  # Pr[1 -> 1]
+        self.q = half_f        # Pr[0 -> 1]
+        # Shared (public) hash functions: one (a, b) pair per hash index.
+        seed_rng = np.random.default_rng(0xB100F)
+        self._hash_a = seed_rng.integers(1, _PRIME, size=self.n_hashes, dtype=np.uint64)
+        self._hash_b = seed_rng.integers(0, _PRIME, size=self.n_hashes, dtype=np.uint64)
+        self._design = self._build_design_matrix()
+
+    def _bloom_positions(self, value: int) -> np.ndarray:
+        value = np.uint64(value)
+        return ((self._hash_a * value + self._hash_b) % _PRIME % np.uint64(self.n_bits)).astype(
+            np.int64
+        )
+
+    def _build_design_matrix(self) -> np.ndarray:
+        """``m x d`` 0/1 matrix: bit i set by value v's Bloom encoding."""
+        design = np.zeros((self.n_bits, self.domain_size), dtype=np.float64)
+        for v in range(self.domain_size):
+            design[self._bloom_positions(v), v] = 1.0
+        return design
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def encode(self, value: int) -> np.ndarray:
+        value = self._check_value(value)
+        bits = np.zeros(self.n_bits, dtype=np.uint8)
+        bits[self._bloom_positions(value)] = 1
+        return bits
+
+    def privatize(self, value: int) -> np.ndarray:
+        bits = self.encode(value)
+        u = self.rng.random(self.n_bits)
+        keep_prob = np.where(bits == 1, self.p, self.q)
+        return (u < keep_prob).astype(np.uint8)
+
+    # ------------------------------------------------------------------
+    # server side
+    # ------------------------------------------------------------------
+    def aggregate(self, reports: Iterable[np.ndarray]) -> np.ndarray:
+        support = np.zeros(self.n_bits, dtype=np.int64)
+        for report in reports:
+            report = np.asarray(report)
+            if report.shape != (self.n_bits,):
+                raise AggregationError(
+                    f"report shape {report.shape} != ({self.n_bits},)"
+                )
+            support += report.astype(np.int64)
+        return support
+
+    def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
+        """NNLS decode: solve ``min ||X f - y||`` with the debiased bit
+        counts ``y = (support - n q) / (p - q)``."""
+        support = np.asarray(support, dtype=np.float64)
+        if support.shape != (self.n_bits,):
+            raise AggregationError(
+                f"support shape {support.shape} != ({self.n_bits},)"
+            )
+        debiased = (support - n * self.q) / (self.p - self.q)
+        estimate, _residual = nnls(self._design, debiased)
+        return estimate
+
+    # ------------------------------------------------------------------
+    # simulation (exact at the bit level)
+    # ------------------------------------------------------------------
+    def simulate_support(
+        self, true_counts: np.ndarray, rng: Optional[np.random.Generator] = None
+    ) -> np.ndarray:
+        """Exact per-bit: bit i's count is ``Binom(set_i, p) + Binom(n-set_i, q)``
+        where ``set_i`` is the number of users whose Bloom encoding sets i."""
+        rng = rng if rng is not None else self.rng
+        counts = self._check_counts(true_counts)
+        n = int(counts.sum())
+        set_counts = (self._design @ counts.astype(np.float64)).astype(np.int64)
+        # Bloom collisions cannot push a bit past n users.
+        set_counts = np.minimum(set_counts, n)
+        ones = rng.binomial(set_counts, self.p)
+        zeros = rng.binomial(n - set_counts, self.q)
+        return (ones + zeros).astype(np.int64)
+
+    # ------------------------------------------------------------------
+    # theory & accounting
+    # ------------------------------------------------------------------
+    def variance(self, n: int, true_count: float = 0.0) -> float:
+        """Variance of one debiased bit count (decode noise floor)."""
+        numerator = true_count * self.p * (1 - self.p) + (n - true_count) * self.q * (1 - self.q)
+        return numerator / (self.p - self.q) ** 2
+
+    def communication_bits(self) -> int:
+        return self.n_bits

@@ -1,0 +1,14 @@
+"""Evaluation metrics: RMSE for frequency estimation, F1/NCR for top-k."""
+
+from .frequency import mae, max_error, relative_error, rmse
+from .ranking import average_over_classes, f1_score, ncr
+
+__all__ = [
+    "average_over_classes",
+    "f1_score",
+    "mae",
+    "max_error",
+    "ncr",
+    "relative_error",
+    "rmse",
+]

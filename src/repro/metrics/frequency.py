@@ -1,0 +1,56 @@
+"""Frequency-estimation error metrics (paper Section VII-B).
+
+The paper's headline metric is RMSE over all label-item cells::
+
+    RMSE = sqrt( (1 / (|C| |I|)) * sum_{C,I} (f_hat(C,I) - f(C,I))^2 )
+
+MAE and maximum error are provided for diagnostics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DomainError
+
+
+def _check_same_shape(estimated: np.ndarray, truth: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    estimated = np.asarray(estimated, dtype=np.float64)
+    truth = np.asarray(truth, dtype=np.float64)
+    if estimated.shape != truth.shape:
+        raise DomainError(
+            f"shape mismatch: estimated {estimated.shape} vs truth {truth.shape}"
+        )
+    if estimated.size == 0:
+        raise DomainError("cannot score empty arrays")
+    return estimated, truth
+
+
+def rmse(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Root mean squared error over all
+
+    cells of the estimate matrix (the paper's frequency metric)."""
+    estimated, truth = _check_same_shape(estimated, truth)
+    return float(np.sqrt(np.mean((estimated - truth) ** 2)))
+
+
+def mae(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Mean absolute error over all cells."""
+    estimated, truth = _check_same_shape(estimated, truth)
+    return float(np.mean(np.abs(estimated - truth)))
+
+
+def max_error(estimated: np.ndarray, truth: np.ndarray) -> float:
+    """Largest absolute cell error (worst-case diagnostic)."""
+    estimated, truth = _check_same_shape(estimated, truth)
+    return float(np.max(np.abs(estimated - truth)))
+
+
+def relative_error(
+    estimated: np.ndarray, truth: np.ndarray, floor: float = 1.0
+) -> float:
+    """Mean ``|error| / max(truth, floor)``; ``floor`` guards empty cells."""
+    if floor <= 0:
+        raise DomainError(f"floor must be positive, got {floor}")
+    estimated, truth = _check_same_shape(estimated, truth)
+    return float(np.mean(np.abs(estimated - truth) / np.maximum(truth, floor)))

@@ -1,0 +1,75 @@
+"""Top-k ranking metrics (paper Section VII-B).
+
+* :func:`f1_score` — with a fixed output size ``k`` precision equals
+  recall, so the F1 score reduces to the fraction of mined items that are
+  true top-k items.
+* :func:`ncr` — Normalized Cumulative Rank: the true top-1 item is worth
+  ``k`` points, the second ``k-1``, ..., the k-th ``1``; mined items earn
+  their points and the sum is normalised by ``k(k+1)/2``.
+
+Both are averaged over classes by :func:`average_over_classes`, matching
+how the paper reports a single number per method.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..exceptions import DomainError
+
+
+def f1_score(mined: Sequence[int], truth: Sequence[int]) -> float:
+    """Fraction of ``truth`` recovered by ``mined`` (= precision = recall).
+
+    ``mined`` may be shorter than ``truth`` (a scheme can fail to produce
+    ``k`` items); extra mined items beyond ``len(truth)`` are an error.
+    """
+    if not truth:
+        raise DomainError("ground-truth top-k must be non-empty")
+    if len(mined) > len(truth):
+        raise DomainError(
+            f"mined more items ({len(mined)}) than the ground truth holds "
+            f"({len(truth)}); pass the same k to both sides"
+        )
+    if len(set(mined)) != len(mined):
+        raise DomainError("mined item list contains duplicates")
+    hits = len(set(mined) & set(truth))
+    return hits / len(truth)
+
+
+def ncr(mined: Sequence[int], truth: Sequence[int]) -> float:
+    """Normalized Cumulative Rank of ``mined`` against ordered ``truth``.
+
+    ``truth`` must be ordered most-frequent-first; its ``i``-th entry is
+    worth ``k - i`` points.
+    """
+    if not truth:
+        raise DomainError("ground-truth top-k must be non-empty")
+    if len(set(mined)) != len(mined):
+        raise DomainError("mined item list contains duplicates")
+    k = len(truth)
+    quality = {item: k - rank for rank, item in enumerate(truth)}
+    earned = sum(quality.get(item, 0) for item in mined)
+    return 2.0 * earned / (k * (k + 1))
+
+
+def average_over_classes(
+    mined_per_class: Mapping[int, Sequence[int]],
+    truth_per_class: Mapping[int, Sequence[int]],
+    metric: str = "f1",
+) -> float:
+    """Average :func:`f1_score` or :func:`ncr` across classes.
+
+    Classes present in the ground truth but missing from ``mined_per_class``
+    score zero (a scheme that returns nothing for a class earns nothing).
+    """
+    if metric not in ("f1", "ncr"):
+        raise DomainError(f"metric must be 'f1' or 'ncr', got {metric!r}")
+    if not truth_per_class:
+        raise DomainError("ground truth holds no classes")
+    score_fn = f1_score if metric == "f1" else ncr
+    total = 0.0
+    for label, truth in truth_per_class.items():
+        mined = mined_per_class.get(label, [])
+        total += score_fn(mined, truth)
+    return total / len(truth_per_class)

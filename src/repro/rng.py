@@ -1,0 +1,55 @@
+"""Random-number plumbing.
+
+All randomness in the library flows through :class:`numpy.random.Generator`
+objects that are passed explicitly (never a module-level global), so every
+experiment is reproducible from a single integer seed.  These helpers
+normalise the common "seed or generator" argument and derive independent
+child generators for sub-components.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``None`` yields a fresh OS-seeded generator, an ``int`` or
+    :class:`~numpy.random.SeedSequence` seeds a new generator, and an
+    existing generator is passed through unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The children are seeded from draws of the parent, so a run is fully
+    determined by the parent's seed while sub-components (e.g. one per
+    trial) do not share streams.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn a negative number of generators: {n}")
+    seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]
+
+
+def derive_seed(rng: np.random.Generator) -> int:
+    """Draw a single integer seed from ``rng`` (for shuffler hand-off)."""
+    return int(rng.integers(0, 2**63 - 1, dtype=np.int64))
+
+
+def optional_rng(
+    rng: Optional[np.random.Generator], fallback: RngLike = None
+) -> np.random.Generator:
+    """Return ``rng`` if given, else a generator built from ``fallback``."""
+    if rng is not None:
+        return rng
+    return ensure_rng(fallback)

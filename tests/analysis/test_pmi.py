@@ -1,0 +1,40 @@
+"""Pointwise mutual information."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import pmi, pmi_matrix
+from repro.exceptions import DomainError
+
+
+class TestPMIMatrix:
+    def test_independent_gives_zero(self):
+        # Independent joint: counts = outer product of marginals.
+        counts = np.outer([2, 3], [1, 4]) * 10
+        matrix = pmi_matrix(counts)
+        assert np.allclose(matrix, 0.0)
+
+    def test_perfect_correlation_positive(self):
+        counts = np.asarray([[100, 0], [0, 100]])
+        matrix = pmi_matrix(counts)
+        assert matrix[0, 0] == pytest.approx(1.0)  # log2(0.5/(0.5*0.5))
+        assert matrix[0, 1] == -np.inf
+
+    def test_monotone_in_pair_count_with_fixed_marginals(self):
+        """PMI ∝ f(C, I) when marginals are fixed (Section V-C)."""
+        weak = np.asarray([[10, 90], [90, 810]])   # independent
+        strong = np.asarray([[40, 60], [60, 840]])  # same marginals, corr.
+        assert pmi(strong, 0, 0) > pmi(weak, 0, 0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DomainError):
+            pmi_matrix(np.ones(4))
+        with pytest.raises(DomainError):
+            pmi_matrix(np.zeros((2, 2)))
+
+    def test_single_cell_lookup_validates(self):
+        counts = np.ones((2, 2))
+        with pytest.raises(DomainError):
+            pmi(counts, 2, 0)
+        with pytest.raises(DomainError):
+            pmi(counts, 0, 5)

@@ -1,0 +1,139 @@
+"""Algebraic checks of the unbiased calibrations (paper Section VI-A)."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimators import (
+    calibrate_cp,
+    calibrate_hec,
+    calibrate_ptj,
+    calibrate_pts,
+    estimate_class_sizes,
+)
+from repro.exceptions import AggregationError
+from repro.mechanisms.grr import grr_probabilities
+from repro.mechanisms.ue import oue_probabilities
+
+
+@pytest.fixture
+def truth(rng):
+    return rng.multinomial(30_000, np.ones(12) / 12).reshape(3, 4).astype(np.float64)
+
+
+class TestHEC:
+    def test_inverts_expected_support(self, truth):
+        """Feeding HEC's expected supports (without the deniability term)
+        recovers the truth scaled correctly."""
+        p, q = 0.6, 0.2
+        n_total = truth.sum()
+        c = truth.shape[0]
+        group_sizes = np.full(c, n_total / c)
+        # Expected support of group g at item i: (f(g,i)/c) p + (n_g - f/c) q
+        support = (truth / c) * p + (group_sizes[:, None] - truth / c) * q
+        estimate = calibrate_hec(support, group_sizes, int(n_total), p, q)
+        assert np.allclose(estimate, truth)
+
+    def test_deniability_bias_matches_theorem4(self, truth):
+        """Random-item deniability adds exactly (N - n)/d per cell."""
+        p, q = 0.6, 0.2
+        n_total = truth.sum()
+        c, d = truth.shape
+        group_sizes = np.full(c, n_total / c)
+        class_sizes = truth.sum(axis=1)
+        invalid = (n_total - class_sizes) / c
+        support = (
+            (truth / c) * p
+            + (group_sizes[:, None] - truth / c - invalid[:, None]) * q
+            + invalid[:, None] * (q + (p - q) / d)
+        )
+        estimate = calibrate_hec(support, group_sizes, int(n_total), p, q)
+        bias = estimate - truth
+        expected_bias = ((n_total - class_sizes) / d)[:, None]
+        assert np.allclose(bias, np.broadcast_to(expected_bias, bias.shape))
+
+    def test_rejects_empty_group(self, truth):
+        with pytest.raises(AggregationError):
+            calibrate_hec(truth, np.asarray([0.0, 1.0, 1.0]), 100, 0.6, 0.2)
+
+    def test_rejects_misaligned_sizes(self, truth):
+        with pytest.raises(AggregationError):
+            calibrate_hec(truth, np.ones(2), 100, 0.6, 0.2)
+
+
+class TestPTJ:
+    def test_inverts_expected_support(self, truth):
+        p, q = 0.7, 0.1
+        n_total = truth.sum()
+        support = truth.ravel() * p + (n_total - truth.ravel()) * q
+        estimate = calibrate_ptj(support, int(n_total), p, q, truth.shape[0])
+        assert np.allclose(estimate, truth)
+
+    def test_rejects_nondivisible_support(self):
+        with pytest.raises(AggregationError):
+            calibrate_ptj(np.zeros(10), 100, 0.7, 0.1, 3)
+
+
+class TestPTS:
+    def test_inverts_expected_support(self, truth):
+        """Eq. (6) inverts the exact four-population expectation."""
+        p1, q1 = grr_probabilities(1.0, truth.shape[0])
+        p2, q2 = oue_probabilities(1.0)
+        n_total = truth.sum()
+        class_sizes = truth.sum(axis=1)
+        item_totals = truth.sum(axis=0)
+        support = (
+            truth * (p1 - q1) * (p2 - q2)
+            + class_sizes[:, None] * q2 * (p1 - q1)
+            + item_totals[None, :] * q1 * (p2 - q2)
+            + n_total * q1 * q2
+        )
+        label_counts = class_sizes * p1 + (n_total - class_sizes) * q1
+        estimate = calibrate_pts(support, label_counts, int(n_total), p1, q1, p2, q2)
+        assert np.allclose(estimate, truth)
+
+    def test_rejects_misaligned_labels(self, truth):
+        with pytest.raises(AggregationError):
+            calibrate_pts(truth, np.ones(2), 100, 0.7, 0.1, 0.5, 0.2)
+
+
+class TestCP:
+    def test_matches_mechanism_estimate(self, truth, rng):
+        """The standalone Eq. (4) equals CorrelatedPerturbation.estimate."""
+        from repro.mechanisms import CorrelatedPerturbation
+
+        mech = CorrelatedPerturbation(0.7, 0.9, n_classes=3, n_items=4, rng=rng)
+        support = mech.simulate_support(truth.astype(np.int64), rng=rng)
+        expected = mech.estimate(support)
+        standalone = calibrate_cp(
+            support.item_support,
+            support.label_counts,
+            support.n_users,
+            mech.p1,
+            mech.q1,
+            mech.p2,
+            mech.q2,
+        )
+        assert np.allclose(expected, standalone)
+
+    def test_inverts_expected_support(self, truth):
+        p1, q1 = grr_probabilities(0.5, truth.shape[0])
+        p2, q2 = oue_probabilities(0.5)
+        n_total = truth.sum()
+        class_sizes = truth.sum(axis=1)
+        support = (
+            truth * p1 * (1 - q2) * p2
+            + (class_sizes[:, None] - truth) * p1 * (1 - q2) * q2
+            + (n_total - class_sizes)[:, None] * q1 * (1 - p2) * q2
+        )
+        label_counts = class_sizes * p1 + (n_total - class_sizes) * q1
+        estimate = calibrate_cp(support, label_counts, int(n_total), p1, q1, p2, q2)
+        assert np.allclose(estimate, truth)
+
+
+class TestClassSizes:
+    def test_inverts_grr_expectation(self):
+        p1, q1 = grr_probabilities(1.0, 4)
+        sizes = np.asarray([4000.0, 3000.0, 2000.0, 1000.0])
+        n = sizes.sum()
+        counts = sizes * p1 + (n - sizes) * q1
+        assert np.allclose(estimate_class_sizes(counts, int(n), p1, q1), sizes)

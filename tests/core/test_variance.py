@@ -1,0 +1,180 @@
+"""Closed-form utility theory: Theorems 4-10 and Table I."""
+
+import numpy as np
+import pytest
+
+from repro.core.variance import (
+    CPProbabilities,
+    TABLE1_EPSILONS,
+    cp_estimate_variance,
+    ldp_count_moments,
+    ldp_invalid_noise,
+    pts_estimate_variance,
+    table1,
+    table1_coefficients,
+    theorem10_gap_lower_bound,
+    vp_count_moments,
+    vp_invalid_noise,
+    vp_vs_ldp_variance_gap,
+)
+from repro.exceptions import DomainError
+
+P, Q = 0.5, 0.2
+
+
+class TestInvalidNoise:
+    def test_theorem4_formulas(self):
+        e, v = ldp_invalid_noise(m=1000, d=10, p=P, q=Q)
+        assert e == pytest.approx(1000 * Q + 100 * (P - Q))
+        assert v == pytest.approx(1000 * Q * (1 - Q) + 100 * (P - Q) * (1 - P - Q))
+
+    def test_theorem5_formulas(self):
+        e, v = vp_invalid_noise(m=1000, p=P, q=Q)
+        assert e == pytest.approx(1000 * Q * (1 - P))
+        assert v == pytest.approx(1000 * (Q * (1 - Q) - P * Q * (1 + P * Q - 2 * Q)))
+
+    def test_vp_noise_always_smaller(self):
+        """Theorem 5 < Theorem 4 across budgets and domain sizes."""
+        from repro.mechanisms.ue import oue_probabilities
+
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            p, q = oue_probabilities(eps)
+            for d in (2, 10, 100, 10_000):
+                e_ldp, _ = ldp_invalid_noise(1000, d, p, q)
+                e_vp, _ = vp_invalid_noise(1000, p, q)
+                assert e_vp < e_ldp
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(DomainError):
+            ldp_invalid_noise(10, 0, P, Q)
+
+
+class TestCountMoments:
+    def test_theorem6_expectation(self):
+        e, _ = ldp_count_moments(n1=100, n2=800, m=100, d=10, p=P, q=Q)
+        expected = 100 * P + 800 * Q + 100 * Q + 10 * (P - Q)
+        assert e == pytest.approx(expected)
+
+    def test_theorem7_expectation_is_bernoulli_sums(self):
+        e, v = vp_count_moments(n1=100, n2=800, m=100, p=P, q=Q)
+        probs = (P * (1 - Q), Q * (1 - Q), Q * (1 - P))
+        counts = (100, 800, 100)
+        assert e == pytest.approx(sum(n * pr for n, pr in zip(counts, probs)))
+        assert v == pytest.approx(
+            sum(n * pr * (1 - pr) for n, pr in zip(counts, probs))
+        )
+
+    def test_variance_gap_identity(self):
+        """The closing identity of Section V-B equals Var_VP - Var_LDP
+        and is negative."""
+        n1, n2, m, d = 100, 800, 100, 10
+        _, v_ldp = ldp_count_moments(n1, n2, m, d, P, Q)
+        _, v_vp = vp_count_moments(n1, n2, m, P, Q)
+        gap = vp_vs_ldp_variance_gap(n1, n2, m, d, P, Q)
+        assert gap == pytest.approx(v_vp - v_ldp)
+        assert gap < 0
+
+    def test_gap_negative_across_regimes(self):
+        from repro.mechanisms.ue import oue_probabilities
+
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            p, q = oue_probabilities(eps)
+            for m_frac in (0.1, 0.5, 0.9):
+                n = 10_000
+                m = int(n * m_frac)
+                gap = vp_vs_ldp_variance_gap(n - m - 100, 100, m, 50, p, q)
+                assert gap < 0
+
+
+class TestCPProbabilities:
+    def test_from_budgets(self):
+        probs = CPProbabilities.from_budgets(1.0, 1.0, 4)
+        assert 0 < probs.q1 < probs.p1 <= 1
+        assert probs.p2 == 0.5
+
+    def test_pass_probabilities_ordering(self):
+        probs = CPProbabilities.from_budgets(1.0, 1.0, 4)
+        # True cell passes more often than same-class noise, which passes
+        # more often than other-class noise.
+        assert probs.pass_true > probs.pass_same_class > probs.pass_other_class
+
+
+class TestTable1:
+    # The paper's printed Table I (c = 4, even split).
+    PAPER_N = [213.8, 58.9, 22.8, 10.5, 5.4, 3.0, 1.8, 1.1]
+    PAPER_BIG_N = [441.8, 53.3, 12.0, 3.6, 1.3, 0.5, 0.2, 0.1]
+    PAPER_F = [87.4, 32.9, 17.1, 10.3, 6.8, 4.9, 3.7, 2.9]
+
+    def test_n_column_matches_paper_exactly(self):
+        rows = table1()
+        assert np.allclose(np.round(rows["n"], 1), self.PAPER_N)
+
+    def test_big_n_column_matches_paper_exactly(self):
+        rows = table1()
+        assert np.allclose(np.round(rows["N"], 1), self.PAPER_BIG_N)
+
+    def test_f_column_matches_paper_within_15_percent(self):
+        """The paper's printed f-coefficients deviate from Eq. (5)'s
+        grouping by ~10% (see EXPERIMENTS.md); our closed form stays
+        within 15% of the printed values at every ε."""
+        rows = table1()
+        ratio = rows["f(C,I)"] / np.asarray(self.PAPER_F)
+        assert (np.abs(ratio - 1.0) < 0.15).all()
+
+    def test_all_coefficients_decrease_in_epsilon(self):
+        rows = table1()
+        for key in ("f(C,I)", "n", "N"):
+            values = rows[key]
+            assert (np.diff(values) < 0).all()
+
+    def test_coefficients_positive(self):
+        for eps in TABLE1_EPSILONS:
+            assert all(c > 0 for c in table1_coefficients(eps))
+
+
+class TestTheorem8And10:
+    def test_cp_variance_linear_in_n(self):
+        """Section V-C: Var is affine-increasing in the class amount n
+        with f and N fixed (the Fig. 5b effect)."""
+        base = dict(f=1e4, n_total=4e6, p1=0.6, q1=0.2, p2=0.5, q2=0.2)
+        grid = (5e5, 1e6, 1.5e6, 2e6)
+        variances = [cp_estimate_variance(n=n, **base) for n in grid]
+        assert variances == sorted(variances)
+        increments = np.diff(variances)
+        # Equal n steps give equal variance steps (affine dependence).
+        assert np.allclose(increments, increments[0], rtol=1e-6)
+
+    def test_cp_variance_insensitive_to_f(self):
+        """Section V-C: with f(C,I) << n, N (the realistic regime), the
+        f coefficient cannot offset n and N — variance barely moves."""
+        base = dict(n=2e6, n_total=4e6, p1=0.6, q1=0.2, p2=0.5, q2=0.2)
+        lo = cp_estimate_variance(f=1e2, **base)
+        hi = cp_estimate_variance(f=1e4, **base)
+        assert hi == pytest.approx(lo, rel=0.05)
+
+    def test_theorem10_gap_positive(self):
+        """CP strictly beats GRR+OUE on the pair estimate."""
+        from repro.mechanisms.grr import grr_probabilities
+        from repro.mechanisms.ue import oue_probabilities
+
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            p1, q1 = grr_probabilities(eps / 2, 4)
+            p2, q2 = oue_probabilities(eps / 2)
+            gap = theorem10_gap_lower_bound(
+                f=1e3, n=1e5, n_total=1e6, f_item=5e3, p1=p1, q1=q1, p2=p2, q2=q2
+            )
+            assert gap > 0
+
+    def test_pts_variance_exceeds_cp_variance(self):
+        """The actual variance difference respects the Theorem 10 bound's
+        sign: Var_PTS > Var_CP in every tested regime."""
+        from repro.mechanisms.grr import grr_probabilities
+        from repro.mechanisms.ue import oue_probabilities
+
+        for eps in (0.5, 1.0, 2.0, 4.0):
+            p1, q1 = grr_probabilities(eps / 2, 4)
+            p2, q2 = oue_probabilities(eps / 2)
+            args = dict(f=1e3, n=1e5, n_total=1e6, p1=p1, q1=q1, p2=p2, q2=q2)
+            v_pts = pts_estimate_variance(f_item=5e3, **args)
+            v_cp = cp_estimate_variance(**args)
+            assert v_pts > v_cp

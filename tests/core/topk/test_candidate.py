@@ -1,0 +1,159 @@
+"""Algorithm 1 — global candidate generation."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import generate_candidates
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def workload(rng):
+    """Item counts with a clear head, plus label counts for 3 classes."""
+    ranks = np.arange(512, dtype=np.float64)
+    probs = np.exp(-ranks / 30.0)
+    item_counts = rng.multinomial(100_000, probs / probs.sum())
+    label_counts = np.asarray([50_000, 30_000, 20_000])
+    return item_counts, label_counts
+
+
+class TestBucketMode:
+    def test_candidates_halve_per_iteration(self, workload, rng):
+        item_counts, label_counts = workload
+        result = generate_candidates(
+            item_counts=item_counts,
+            label_counts=label_counts,
+            k=8,
+            n_iterations=2,
+            epsilon1=1.0,
+            epsilon2=1.0,
+            invalid_mode="vp",
+            use_buckets=True,
+            rng=rng,
+        )
+        # Keeping half the (4kc = 96) buckets roughly halves the
+        # candidate set per iteration; bucket sizes differ by one, so the
+        # survivor count is approximate.
+        assert 100 <= result.candidates.size <= 160  # ~512 / 4
+        assert len(result.seeds) == 2
+        assert len(result.bucket_states) == 2
+        assert result.n_phase_users == 100_000
+
+    def test_head_items_survive(self, workload, rng):
+        item_counts, label_counts = workload
+        truth = set(np.argsort(-item_counts)[:8].tolist())
+        survived = []
+        for t in range(10):
+            result = generate_candidates(
+                item_counts=item_counts,
+                label_counts=label_counts,
+                k=8,
+                n_iterations=2,
+                epsilon1=2.0,
+                epsilon2=2.0,
+                invalid_mode="vp",
+                use_buckets=True,
+                rng=np.random.default_rng(t),
+            )
+            survived.append(len(truth & set(result.candidates.tolist())) / len(truth))
+        assert np.mean(survived) > 0.8
+
+    def test_class_size_estimates_unbiased(self, workload, rng):
+        item_counts, label_counts = workload
+        estimates = np.stack(
+            [
+                generate_candidates(
+                    item_counts=item_counts,
+                    label_counts=label_counts,
+                    k=8,
+                    n_iterations=1,
+                    epsilon1=1.0,
+                    epsilon2=1.0,
+                    invalid_mode="vp",
+                    use_buckets=True,
+                    rng=np.random.default_rng(t),
+                ).class_size_estimates
+                for t in range(100)
+            ]
+        )
+        assert np.abs(estimates.mean(axis=0) - label_counts).max() < 2500
+
+    def test_zero_iterations_keeps_full_domain(self, workload, rng):
+        item_counts, label_counts = workload
+        result = generate_candidates(
+            item_counts=item_counts,
+            label_counts=label_counts,
+            k=8,
+            n_iterations=0,
+            epsilon1=1.0,
+            epsilon2=1.0,
+            invalid_mode="vp",
+            use_buckets=True,
+            rng=rng,
+        )
+        assert result.candidates.size == 512
+
+    def test_class_fractions_sum_to_one(self, workload, rng):
+        item_counts, label_counts = workload
+        result = generate_candidates(
+            item_counts=item_counts,
+            label_counts=label_counts,
+            k=8,
+            n_iterations=1,
+            epsilon1=1.0,
+            epsilon2=1.0,
+            invalid_mode="vp",
+            use_buckets=True,
+            rng=rng,
+        )
+        assert result.class_fractions().sum() == pytest.approx(1.0)
+
+    def test_rejects_inconsistent_populations(self, rng):
+        with pytest.raises(DomainError):
+            generate_candidates(
+                item_counts=np.asarray([10, 10]),
+                label_counts=np.asarray([5, 5, 5]),
+                k=2,
+                n_iterations=1,
+                epsilon1=1.0,
+                epsilon2=1.0,
+                invalid_mode="vp",
+                use_buckets=True,
+                rng=rng,
+            )
+
+
+class TestPrefixMode:
+    def test_requires_prefix_arguments(self, workload, rng):
+        item_counts, label_counts = workload
+        with pytest.raises(DomainError):
+            generate_candidates(
+                item_counts=item_counts,
+                label_counts=label_counts,
+                k=8,
+                n_iterations=1,
+                epsilon1=1.0,
+                epsilon2=1.0,
+                invalid_mode="random",
+                use_buckets=False,
+                rng=rng,
+            )
+
+    def test_prefix_depth_advances(self, workload, rng):
+        item_counts, label_counts = workload
+        result = generate_candidates(
+            item_counts=item_counts,
+            label_counts=label_counts,
+            k=8,
+            n_iterations=2,
+            epsilon1=1.0,
+            epsilon2=1.0,
+            invalid_mode="random",
+            use_buckets=False,
+            rng=rng,
+            total_bits=9,
+            start_prefixes=np.arange(16),
+            start_depth=4,
+        )
+        assert result.prefix_depth == 6
+        assert result.candidates.max() < (1 << 6)

@@ -1,0 +1,149 @@
+"""Algorithm 2 — per-class mining and the b noise rule."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import ClassMiningData, mine_class_topk, noise_rule_use_cp
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def class_data(rng):
+    """One class group: skewed native items plus uniform foreign noise."""
+    ranks = np.arange(256, dtype=np.float64)
+    probs = np.exp(-ranks / 20.0)
+    native = rng.multinomial(40_000, probs / probs.sum())
+    foreign = rng.multinomial(10_000, np.ones(256) / 256)
+    return ClassMiningData(native_counts=native, foreign_counts=foreign)
+
+
+class TestClassMiningData:
+    def test_n_users(self, class_data):
+        assert class_data.n_users == 50_000
+
+    def test_split_preserves_population(self, class_data, rng):
+        parts = class_data.split(4, rng)
+        assert len(parts) == 4
+        native_total = sum(p.native_counts.sum() for p in parts)
+        foreign_total = sum(p.foreign_counts.sum() for p in parts)
+        assert native_total == 40_000
+        assert foreign_total == 10_000
+
+    def test_rejects_misaligned_vectors(self):
+        with pytest.raises(DomainError):
+            ClassMiningData(np.ones(3, dtype=np.int64), np.ones(4, dtype=np.int64))
+
+
+class TestNoiseRule:
+    def test_cp_when_inflow_moderate(self):
+        assert noise_rule_use_cp(inflow=1000, expected_inflow=900, b=2.0)
+
+    def test_vp_when_inflow_excessive(self):
+        assert not noise_rule_use_cp(inflow=5000, expected_inflow=900, b=2.0)
+
+    def test_boundary_is_inclusive(self):
+        assert noise_rule_use_cp(inflow=1800, expected_inflow=900, b=2.0)
+
+    def test_degenerate_expectation_forces_vp(self):
+        assert not noise_rule_use_cp(inflow=10, expected_inflow=0.0, b=2.0)
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(DomainError):
+            noise_rule_use_cp(1, 1, b=0.0)
+
+
+class TestMineClassTopk:
+    def test_finds_head_items(self, class_data, rng):
+        truth = set(np.argsort(-class_data.native_counts)[:8].tolist())
+        result = mine_class_topk(
+            data=class_data,
+            candidates=np.arange(256),
+            k=8,
+            n_iterations=4,
+            epsilon2=4.0,
+            use_cp_final=True,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert len(result.top_items) == 8
+        assert len(truth & set(result.top_items)) >= 5
+        assert result.used_cp
+
+    def test_single_iteration_is_estimation_only(self, class_data, rng):
+        result = mine_class_topk(
+            data=class_data,
+            candidates=np.arange(256),
+            k=8,
+            n_iterations=1,
+            epsilon2=4.0,
+            use_cp_final=False,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert len(result.top_items) == 8
+        assert not result.used_cp
+
+    def test_cp_final_excludes_foreign_items(self, rng):
+        """With CP the foreign users' items cannot win; with VP a foreign-
+        only item can.  Build a class whose foreign noise concentrates on
+        one item."""
+        native = np.zeros(64, dtype=np.int64)
+        native[:8] = 4000
+        foreign = np.zeros(64, dtype=np.int64)
+        foreign[63] = 30_000  # a foreign-class hit, not native
+        data = ClassMiningData(native, foreign)
+        cp_hits, vp_hits = 0, 0
+        for t in range(10):
+            cp = mine_class_topk(
+                data=data, candidates=np.arange(64), k=8, n_iterations=1,
+                epsilon2=4.0, use_cp_final=True, invalid_mode="vp",
+                rng=np.random.default_rng(t),
+            )
+            vp = mine_class_topk(
+                data=data, candidates=np.arange(64), k=8, n_iterations=1,
+                epsilon2=4.0, use_cp_final=False, invalid_mode="vp",
+                rng=np.random.default_rng(t),
+            )
+            cp_hits += 63 in cp.top_items
+            vp_hits += 63 in vp.top_items
+        assert cp_hits == 0
+        assert vp_hits == 10
+
+    def test_prefix_mode_depth_guard(self, class_data, rng):
+        with pytest.raises(DomainError):
+            mine_class_topk(
+                data=class_data,
+                candidates=np.arange(16),
+                k=4,
+                n_iterations=2,
+                epsilon2=2.0,
+                use_cp_final=False,
+                invalid_mode="random",
+                rng=rng,
+                use_buckets=False,
+                total_bits=8,
+                prefix_depth=4,  # 4 + 1 iteration != 8 -> schedule error
+            )
+
+    def test_prefix_mode_full_run(self, class_data, rng):
+        result = mine_class_topk(
+            data=class_data,
+            candidates=np.arange(16),
+            k=8,
+            n_iterations=5,
+            epsilon2=4.0,
+            use_cp_final=False,
+            invalid_mode="random",
+            rng=rng,
+            use_buckets=False,
+            total_bits=8,
+            prefix_depth=4,
+        )
+        assert len(result.top_items) <= 8
+
+    def test_rejects_zero_iterations(self, class_data, rng):
+        with pytest.raises(DomainError):
+            mine_class_topk(
+                data=class_data, candidates=np.arange(256), k=4, n_iterations=0,
+                epsilon2=1.0, use_cp_final=False, invalid_mode="vp", rng=rng,
+            )

@@ -1,0 +1,195 @@
+"""Single bucket/prefix pruning iterations and the final ranking step."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import (
+    bucket_iteration_count,
+    bucket_prune_once,
+    estimate_final,
+    prefix_prune_once,
+)
+from repro.exceptions import DomainError
+
+
+class TestBucketPruneOnce:
+    def test_halves_candidates(self, rng):
+        counts = rng.multinomial(50_000, np.ones(512) / 512)
+        outcome = bucket_prune_once(
+            candidates=np.arange(512),
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            n_buckets=64,
+            keep=32,
+            epsilon=4.0,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert outcome.candidates.size == 256
+        assert outcome.bucket_state.kept_buckets().size == 32
+        assert outcome.seed is not None
+
+    def test_keeps_heavy_candidates(self, rng):
+        """A dominant item's bucket must survive with a clear margin."""
+        counts = np.zeros(256, dtype=np.int64)
+        counts[123] = 50_000
+        counts += rng.multinomial(5000, np.ones(256) / 256)
+        survived = 0
+        for t in range(30):
+            outcome = bucket_prune_once(
+                candidates=np.arange(256),
+                cohort_item_counts=counts,
+                n_extra_invalid=0,
+                n_buckets=32,
+                keep=16,
+                epsilon=4.0,
+                invalid_mode="vp",
+                rng=np.random.default_rng(t),
+            )
+            survived += 123 in outcome.candidates
+        assert survived == 30
+
+    def test_candidate_subset_only(self, rng):
+        counts = rng.multinomial(10_000, np.ones(100) / 100)
+        candidates = np.arange(0, 100, 2)
+        outcome = bucket_prune_once(
+            candidates=candidates,
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            n_buckets=10,
+            keep=5,
+            epsilon=2.0,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert set(outcome.candidates) <= set(candidates.tolist())
+
+
+class TestPrefixPruneOnce:
+    def test_extends_by_one_bit(self, rng):
+        counts = rng.multinomial(10_000, np.ones(64) / 64)
+        outcome = prefix_prune_once(
+            prefixes=np.arange(8),
+            depth=3,
+            total_bits=6,
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            keep=4,
+            epsilon=4.0,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert outcome.candidates.size == 8  # 4 kept x 2 extensions
+
+    def test_multi_bit_extension(self, rng):
+        counts = rng.multinomial(10_000, np.ones(64) / 64)
+        outcome = prefix_prune_once(
+            prefixes=np.arange(8),
+            depth=3,
+            total_bits=6,
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            keep=4,
+            epsilon=4.0,
+            invalid_mode="vp",
+            rng=rng,
+            extension_bits=2,
+        )
+        assert outcome.candidates.size == 16  # 4 kept x 4 extensions
+
+    def test_extension_clipped_at_total_bits(self, rng):
+        counts = rng.multinomial(1000, np.ones(64) / 64)
+        outcome = prefix_prune_once(
+            prefixes=np.arange(32),
+            depth=5,
+            total_bits=6,
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            keep=4,
+            epsilon=4.0,
+            invalid_mode="vp",
+            rng=rng,
+            extension_bits=3,
+        )
+        assert outcome.candidates.max() < 64
+
+    def test_final_depth_no_extension(self, rng):
+        counts = rng.multinomial(1000, np.ones(64) / 64)
+        outcome = prefix_prune_once(
+            prefixes=np.arange(64),
+            depth=6,
+            total_bits=6,
+            cohort_item_counts=counts,
+            n_extra_invalid=0,
+            keep=8,
+            epsilon=4.0,
+            invalid_mode="vp",
+            rng=rng,
+        )
+        assert outcome.candidates.size == 8
+
+    def test_rejects_bad_depth(self, rng):
+        with pytest.raises(DomainError):
+            prefix_prune_once(
+                prefixes=np.arange(4), depth=7, total_bits=6,
+                cohort_item_counts=np.ones(64, dtype=np.int64),
+                n_extra_invalid=0, keep=2, epsilon=1.0, invalid_mode="vp", rng=rng,
+            )
+
+
+class TestEstimateFinal:
+    def test_ranks_by_support(self, rng):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[[3, 17, 40]] = [40_000, 30_000, 20_000]
+        top, support = estimate_final(
+            candidates=np.arange(64),
+            valid_item_counts=counts,
+            n_invalid=0,
+            epsilon=8.0,
+            invalid_mode="vp",
+            k=3,
+            rng=rng,
+        )
+        assert top == [3, 17, 40]
+        assert support.shape == (64,)
+
+    def test_empty_candidates(self, rng):
+        top, support = estimate_final(
+            candidates=np.asarray([], dtype=np.int64),
+            valid_item_counts=np.ones(4, dtype=np.int64),
+            n_invalid=0,
+            epsilon=1.0,
+            invalid_mode="vp",
+            k=2,
+            rng=rng,
+        )
+        assert top == []
+        assert support.size == 0
+
+    def test_k_capped_at_candidates(self, rng):
+        counts = np.asarray([100, 50, 10, 5])
+        top, _ = estimate_final(
+            candidates=np.asarray([0, 1]),
+            valid_item_counts=counts,
+            n_invalid=0,
+            epsilon=8.0,
+            invalid_mode="vp",
+            k=10,
+            rng=rng,
+        )
+        assert len(top) == 2
+
+
+class TestIterationCount:
+    def test_paper_formula(self):
+        # IT = ceil(log2(d / 4k)) + 1
+        assert bucket_iteration_count(14_000, 20) == 9
+        assert bucket_iteration_count(1024, 16) == 5
+        assert bucket_iteration_count(80, 20) == 1
+        assert bucket_iteration_count(81, 20) == 2
+
+    def test_validation(self):
+        with pytest.raises(DomainError):
+            bucket_iteration_count(0, 4)
+        with pytest.raises(DomainError):
+            bucket_iteration_count(10, 0)

@@ -1,0 +1,118 @@
+"""Seeded candidate shuffling and the Fig. 3 combinatorics."""
+
+import numpy as np
+import pytest
+
+from repro.core.topk import (
+    BucketState,
+    assign_buckets,
+    fig3_success_probability,
+    pair_partition_count,
+)
+from repro.exceptions import DomainError
+
+
+class TestAssignBuckets:
+    def test_deterministic_given_seed(self):
+        candidates = np.arange(100)
+        a = assign_buckets(candidates, 10, seed=7)
+        b = assign_buckets(candidates, 10, seed=7)
+        assert (a.bucket_of == b.bucket_of).all()
+
+    def test_different_seeds_differ(self):
+        candidates = np.arange(100)
+        a = assign_buckets(candidates, 10, seed=7)
+        b = assign_buckets(candidates, 10, seed=8)
+        assert (a.bucket_of != b.bucket_of).any()
+
+    def test_near_equal_sizes(self):
+        assignment = assign_buckets(np.arange(103), 10, seed=0)
+        sizes = assignment.bucket_sizes()
+        assert sizes.min() >= 10
+        assert sizes.max() <= 11
+        assert sizes.sum() == 103
+
+    def test_fewer_candidates_than_buckets(self):
+        assignment = assign_buckets(np.arange(5), 10, seed=0)
+        assert assignment.n_buckets == 5
+
+    def test_rejects_empty(self):
+        with pytest.raises(DomainError):
+            assign_buckets(np.asarray([]), 4, seed=0)
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(DomainError):
+            assign_buckets(np.arange(4), 0, seed=0)
+
+    def test_bucket_counts_fold(self):
+        assignment = assign_buckets(np.asarray([10, 20, 30, 40]), 2, seed=3)
+        counts = assignment.bucket_counts(np.asarray([1, 2, 3, 4]))
+        assert counts.sum() == 10
+        assert counts.size == 2
+
+    def test_bucket_counts_rejects_misaligned(self):
+        assignment = assign_buckets(np.arange(4), 2, seed=3)
+        with pytest.raises(DomainError):
+            assignment.bucket_counts(np.ones(5))
+
+    def test_members_partition_candidates(self):
+        assignment = assign_buckets(np.arange(20), 4, seed=1)
+        members = np.sort(np.concatenate([assignment.members(b) for b in range(4)]))
+        assert (members == np.arange(20)).all()
+
+    def test_surviving_candidates(self):
+        assignment = assign_buckets(np.arange(12), 3, seed=5)
+        survivors = assignment.surviving_candidates(np.asarray([0, 2]))
+        expected = np.sort(
+            np.concatenate([assignment.members(0), assignment.members(2)])
+        )
+        assert (survivors == expected).all()
+
+
+class TestBucketState:
+    def test_roundtrip(self):
+        state = BucketState.from_kept(np.asarray([1, 3]), 4)
+        assert state.bits.tolist() == [0, 1, 0, 1]
+        assert state.kept_buckets().tolist() == [1, 3]
+        assert state.n_buckets == 4
+
+    def test_communication_is_one_bit_per_bucket(self):
+        state = BucketState.from_kept(np.asarray([0]), 80)
+        assert state.communication_bits() == 80
+
+
+class TestFig3Combinatorics:
+    def test_pair_partition_counts(self):
+        assert pair_partition_count(2) == 1
+        assert pair_partition_count(4) == 3
+        assert pair_partition_count(6) == 15
+        assert pair_partition_count(8) == 105
+
+    def test_rejects_odd(self):
+        with pytest.raises(DomainError):
+            pair_partition_count(7)
+
+    def test_paper_worked_example(self):
+        """(C(8,2)C(6,2)C(4,2)/4! - C(6,2)C(4,2)/3!) / (C(8,2)C(6,2)C(4,2)/4!)
+        = 0.857 — the probability shuffling rescues the Fig. 3 top-1."""
+        assert fig3_success_probability() == pytest.approx(0.857, abs=0.001)
+
+    def test_no_blockers_means_certain_success(self):
+        assert fig3_success_probability(n_blockers=0) == 1.0
+
+    def test_monte_carlo_agreement(self, rng):
+        """Simulate the Fig. 3 example: items '000'..'111' with counts
+        30,0,19,12,18,13,15,17, buckets of two, keep top-2 buckets, then
+        the top item must survive."""
+        counts = np.asarray([30, 0, 19, 12, 18, 13, 15, 17])
+        hits = 0
+        trials = 4000
+        for _ in range(trials):
+            perm = rng.permutation(8)
+            buckets = perm.reshape(4, 2)
+            sums = counts[buckets].sum(axis=1)
+            top2 = np.argsort(-sums, kind="stable")[:2]
+            survivors = buckets[top2].ravel()
+            hits += 0 in survivors
+        estimate = hits / trials
+        assert estimate == pytest.approx(fig3_success_probability(), abs=0.02)

@@ -1,0 +1,95 @@
+"""LabelItemDataset container."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import LabelItemDataset
+from repro.exceptions import DomainError
+
+
+class TestConstruction:
+    def test_basic(self):
+        data = LabelItemDataset(
+            labels=np.asarray([0, 1, 1]), items=np.asarray([2, 0, 2]),
+            n_classes=2, n_items=3,
+        )
+        assert data.n_users == 3
+
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(DomainError):
+            LabelItemDataset(np.zeros(3), np.zeros(4), 2, 2)
+
+    def test_rejects_out_of_domain(self):
+        with pytest.raises(DomainError):
+            LabelItemDataset(np.asarray([0, 2]), np.asarray([0, 0]), 2, 2)
+        with pytest.raises(DomainError):
+            LabelItemDataset(np.asarray([0, 0]), np.asarray([0, 5]), 2, 2)
+
+    def test_from_pairs_dense_ids(self):
+        data = LabelItemDataset.from_pairs(
+            [("男", "sword"), ("女", "shield"), ("男", "shield")]
+        )
+        assert data.n_classes == 2
+        assert data.n_items == 2
+        assert data.n_users == 3
+
+    def test_from_pairs_rejects_empty(self):
+        with pytest.raises(DomainError):
+            LabelItemDataset.from_pairs([])
+
+    def test_from_pair_counts_roundtrip(self, rng):
+        counts = rng.multinomial(500, np.ones(6) / 6).reshape(2, 3)
+        data = LabelItemDataset.from_pair_counts(counts, rng=rng)
+        assert (data.pair_counts() == counts).all()
+        assert data.n_users == 500
+
+    def test_from_pair_counts_rejects_negative(self):
+        with pytest.raises(DomainError):
+            LabelItemDataset.from_pair_counts(np.asarray([[1, -1]]))
+
+
+class TestStatistics:
+    def test_pair_counts_cached_and_correct(self, small_dataset):
+        counts = small_dataset.pair_counts()
+        assert counts.shape == (3, 8)
+        assert counts.sum() == small_dataset.n_users
+        recomputed = np.zeros_like(counts)
+        for l, i in zip(small_dataset.labels, small_dataset.items):
+            recomputed[l, i] += 1
+        assert (counts == recomputed).all()
+
+    def test_marginals(self, small_dataset):
+        assert small_dataset.class_counts().sum() == small_dataset.n_users
+        assert small_dataset.item_counts().sum() == small_dataset.n_users
+
+    def test_true_topk_ordering(self):
+        counts = np.asarray([[10, 30, 20, 30]])
+        data = LabelItemDataset.from_pair_counts(counts)
+        # Ties break toward the smaller item id.
+        assert data.true_topk(3)[0] == [1, 3, 2]
+
+    def test_true_topk_rejects_bad_k(self, small_dataset):
+        with pytest.raises(DomainError):
+            small_dataset.true_topk(0)
+
+
+class TestRestructuring:
+    def test_shuffled_preserves_counts(self, small_dataset, rng):
+        shuffled = small_dataset.shuffled(rng)
+        assert (shuffled.pair_counts() == small_dataset.pair_counts()).all()
+        assert (shuffled.labels != small_dataset.labels).any()
+
+    def test_split_partitions_users(self, small_dataset, rng):
+        parts = small_dataset.split([0.5, 0.3, 0.2], rng)
+        assert sum(p.n_users for p in parts) == small_dataset.n_users
+        total = sum(p.pair_counts() for p in parts)
+        assert (total == small_dataset.pair_counts()).all()
+
+    def test_split_rejects_bad_fractions(self, small_dataset, rng):
+        with pytest.raises(DomainError):
+            small_dataset.split([0.5, 0.2], rng)
+
+    def test_subset(self, small_dataset):
+        sub = small_dataset.subset(np.arange(10))
+        assert sub.n_users == 10
+        assert sub.n_classes == small_dataset.n_classes

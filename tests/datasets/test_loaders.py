@@ -1,0 +1,64 @@
+"""CSV pair loading."""
+
+import pytest
+
+from repro.datasets import load_pairs_csv
+from repro.exceptions import DomainError
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "pairs.csv"
+    path.write_text("gender,item\nf,sword\nm,shield\nf,sword\n")
+    return path
+
+
+class TestLoadPairs:
+    def test_by_column_name(self, csv_file):
+        data = load_pairs_csv(csv_file, label_column="gender", item_column="item")
+        assert data.n_users == 3
+        assert data.n_classes == 2
+        assert data.n_items == 2
+
+    def test_by_index_with_header_flag(self, csv_file):
+        data = load_pairs_csv(csv_file, 0, 1, has_header=True)
+        assert data.n_users == 3
+
+    def test_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,1\nb,2\na,1\n")
+        data = load_pairs_csv(path, 0, 1)
+        assert data.n_users == 3
+        assert data.name == "raw"
+
+    def test_max_rows(self, csv_file):
+        data = load_pairs_csv(csv_file, "gender", "item", max_rows=2)
+        assert data.n_users == 2
+
+    def test_missing_column_name(self, csv_file):
+        with pytest.raises(DomainError):
+            load_pairs_csv(csv_file, "nope", "item")
+
+    def test_named_column_without_header(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,1\n")
+        with pytest.raises(DomainError):
+            load_pairs_csv(path, "gender", 1, has_header=False)
+
+    def test_short_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,1\nb\n")
+        with pytest.raises(DomainError):
+            load_pairs_csv(path, 0, 1)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DomainError):
+            load_pairs_csv(path, 0, 1)
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "tabs.tsv"
+        path.write_text("a\t1\nb\t2\n")
+        data = load_pairs_csv(path, 0, 1, delimiter="\t")
+        assert data.n_users == 2

@@ -1,0 +1,89 @@
+"""Real-world dataset stand-ins."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ANIME_N_ITEMS,
+    JD_CLASS_SIZES,
+    JD_N_ITEMS,
+    anime_like,
+    diabetes_like,
+    heart_disease_like,
+    jd_like,
+)
+from repro.exceptions import DomainError
+
+
+class TestClinicalStudies:
+    def test_diabetes_shape(self, rng):
+        study = diabetes_like(scale=0.05, rng=rng)
+        assert study.n_features == 8
+        domains = [d.n_items for d in study]
+        assert max(domains) == 600
+        assert all(d.n_classes == 2 for d in study)
+
+    def test_diabetes_class_imbalance(self, rng):
+        study = diabetes_like(scale=0.05, rng=rng)
+        for data in study:
+            sizes = data.class_counts()
+            positive_rate = sizes[1] / sizes.sum()
+            assert 0.06 < positive_rate < 0.11
+
+    def test_heart_shape(self, rng):
+        study = heart_disease_like(scale=0.05, rng=rng)
+        assert study.n_features == 21
+        assert max(d.n_items for d in study) == 84
+
+    def test_class_conditional_shift(self, rng):
+        """Positive-class value distributions sit higher — the structure
+        multi-class estimation must recover."""
+        study = diabetes_like(scale=0.2, rng=rng)
+        wide = [d for d in study if d.n_items >= 97][0]
+        counts = wide.pair_counts().astype(np.float64)
+        values = np.arange(wide.n_items)
+        mean_neg = (counts[0] * values).sum() / counts[0].sum()
+        mean_pos = (counts[1] * values).sum() / counts[1].sum()
+        assert mean_pos > mean_neg
+
+    def test_scale_validation(self, rng):
+        with pytest.raises(DomainError):
+            diabetes_like(scale=0.0, rng=rng)
+
+
+class TestAnimeLike:
+    def test_shape(self, rng):
+        data = anime_like(scale=0.01, rng=rng)
+        assert data.n_classes == 2
+        assert data.n_items == ANIME_N_ITEMS
+        assert data.n_users == pytest.approx(70_000, rel=0.01)
+
+    def test_gender_split(self, rng):
+        data = anime_like(scale=0.01, rng=rng)
+        sizes = data.class_counts()
+        assert sizes[0] / sizes.sum() == pytest.approx(0.55, abs=0.01)
+
+    def test_shared_head(self, rng):
+        data = anime_like(scale=0.02, rng=rng)
+        topk = data.true_topk(20)
+        overlap = len(set(topk[0]) & set(topk[1]))
+        assert overlap >= 8  # strong cross-gender hit overlap
+
+
+class TestJDLike:
+    def test_shape(self, rng):
+        data = jd_like(scale=0.01, rng=rng)
+        assert data.n_classes == 5
+        assert data.n_items == JD_N_ITEMS
+
+    def test_unbalanced_class_profile(self, rng):
+        data = jd_like(scale=0.01, rng=rng)
+        sizes = data.class_counts().astype(np.float64)
+        expected = np.asarray(JD_CLASS_SIZES, dtype=np.float64)
+        observed_ratio = sizes / sizes.sum()
+        expected_ratio = expected / expected.sum()
+        assert np.abs(observed_ratio - expected_ratio).max() < 0.02
+
+    def test_scale_validation(self, rng):
+        with pytest.raises(DomainError):
+            jd_like(scale=-1.0, rng=rng)

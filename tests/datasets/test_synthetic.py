@@ -1,0 +1,130 @@
+"""Synthetic dataset generators (SYN1-4 and the exponential family)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    SYN1_PAIR_COUNTS,
+    SYN2_CLASS_SIZES,
+    SYN2_PROBE_COUNT,
+    syn1,
+    syn2,
+    syn3,
+    syn4,
+    zipf_multiclass,
+)
+from repro.datasets.synthetic import exponential_multiclass
+from repro.exceptions import DomainError
+
+
+class TestSyn1:
+    def test_latin_square_structure(self, rng):
+        data = syn1(rng=rng)
+        counts = data.pair_counts()
+        assert counts.shape == (4, 4)
+        # Every class and every item total the same grand sum.
+        expected = sum(SYN1_PAIR_COUNTS)
+        assert (counts.sum(axis=1) == expected).all()
+        assert (counts.sum(axis=0) == expected).all()
+        # Each row holds each magnitude exactly once.
+        for row in counts:
+            assert sorted(row.tolist()) == sorted(SYN1_PAIR_COUNTS)
+
+    def test_scale(self, rng):
+        data = syn1(scale=0.01, rng=rng)
+        assert data.n_users == pytest.approx(sum(SYN1_PAIR_COUNTS) * 0.01 * 4, rel=0.01)
+
+
+class TestSyn2:
+    def test_probe_item_fixed_across_classes(self, rng):
+        data = syn2(scale=0.01, rng=rng)
+        counts = data.pair_counts()
+        probe = int(round(SYN2_PROBE_COUNT * 0.01))
+        assert (counts[:, 0] == probe).all()
+
+    def test_class_sizes_span_regimes(self, rng):
+        data = syn2(scale=0.01, rng=rng)
+        sizes = data.class_counts()
+        expected = np.round(np.asarray(SYN2_CLASS_SIZES) * 0.01)
+        assert np.allclose(sizes, expected, rtol=0.01)
+
+
+class TestSyn3Syn4:
+    def test_syn3_has_shared_head(self, rng):
+        data = syn3(n_classes=4, n_users=200_000, n_items=2000, rng=rng)
+        topk = data.true_topk(20)
+        overlaps = [
+            len(set(topk[a]) & set(topk[b]))
+            for a in range(4)
+            for b in range(a + 1, 4)
+        ]
+        assert np.mean(overlaps) >= 5  # paper: ~8 shared of top 20
+
+    def test_syn4_heads_disjoint(self, rng):
+        data = syn4(n_classes=4, n_users=200_000, n_items=2000, rng=rng)
+        topk = data.true_topk(20)
+        overlaps = [
+            len(set(topk[a]) & set(topk[b]))
+            for a in range(4)
+            for b in range(a + 1, 4)
+        ]
+        assert np.mean(overlaps) <= 1
+
+    def test_class_count_parameter(self, rng):
+        data = syn3(n_classes=10, n_users=100_000, n_items=1000, rng=rng)
+        assert data.n_classes == 10
+        assert (data.class_counts() > 0).all()
+
+
+class TestExponentialFamily:
+    def test_head_is_flat(self, rng):
+        """Adjacent head ranks differ by ~exp(-1/(s d)) — nearly ties."""
+        data = exponential_multiclass(
+            n_users=1_000_000, n_classes=2, n_items=1000,
+            exp_scales=[0.2, 0.2], rng=rng,
+        )
+        counts = np.sort(data.pair_counts()[0])[::-1]
+        assert counts[0] / counts[19] < 1.3
+
+    def test_scale_validation(self, rng):
+        with pytest.raises(DomainError):
+            exponential_multiclass(
+                n_users=100, n_classes=2, n_items=10, exp_scales=[0.1], rng=rng
+            )
+
+    def test_class_sizes_respected(self, rng):
+        data = exponential_multiclass(
+            n_users=1000, n_classes=2, n_items=50,
+            exp_scales=[0.05, 0.05], class_sizes=[700, 300], rng=rng,
+        )
+        assert data.class_counts().tolist() == [700, 300]
+
+    def test_rejects_inconsistent_sizes(self, rng):
+        with pytest.raises(DomainError):
+            exponential_multiclass(
+                n_users=1000, n_classes=2, n_items=50,
+                exp_scales=[0.05, 0.05], class_sizes=[700, 200], rng=rng,
+            )
+
+
+class TestZipf:
+    def test_head_dominates(self, rng):
+        data = zipf_multiclass(
+            n_users=100_000, n_classes=2, n_items=500, zipf_s=1.5, rng=rng
+        )
+        counts = data.pair_counts()[0]
+        assert counts.max() > 20 * np.median(counts[counts > 0])
+
+    def test_shared_head_consistency(self, rng):
+        data = zipf_multiclass(
+            n_users=200_000, n_classes=3, n_items=500, zipf_s=1.3,
+            shared_head=10, head_window=15, rng=rng,
+        )
+        topk = data.true_topk(15)
+        overlap = len(set(topk[0]) & set(topk[1]))
+        assert overlap >= 6
+
+    def test_reproducible_given_seed(self):
+        a = zipf_multiclass(1000, 2, 50, rng=np.random.default_rng(5))
+        b = zipf_multiclass(1000, 2, 50, rng=np.random.default_rng(5))
+        assert (a.pair_counts() == b.pair_counts()).all()

@@ -1,0 +1,62 @@
+"""Adaptive GRR/OUE selection (Wang et al.'s d < 3e^ε + 2 rule)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import AdaptiveMechanism, grr_beats_oue, make_adaptive
+from repro.mechanisms.grr import GeneralizedRandomResponse
+from repro.mechanisms.ue import OptimizedUnaryEncoding
+
+
+class TestRule:
+    def test_threshold_boundary(self):
+        eps = 1.0
+        threshold = 3 * math.exp(eps) + 2
+        assert grr_beats_oue(eps, int(threshold) - 1)
+        assert not grr_beats_oue(eps, int(threshold) + 1)
+
+    def test_rule_matches_actual_variances(self):
+        """The selector must pick the lower-variance oracle on both sides
+        of the threshold."""
+        for eps in (0.5, 1.0, 2.0):
+            for d in (2, 5, 20, 200, 2000):
+                grr = GeneralizedRandomResponse(eps, d)
+                oue = OptimizedUnaryEncoding(eps, d)
+                better_is_grr = grr.variance(10_000) < oue.variance(10_000)
+                assert grr_beats_oue(eps, d) == better_is_grr
+
+    def test_factory_returns_winner(self):
+        assert make_adaptive(1.0, 4).name == "grr"
+        assert make_adaptive(1.0, 1000).name == "oue"
+
+
+class TestFacade:
+    def test_selected_property(self):
+        assert AdaptiveMechanism(1.0, 4).selected == "grr"
+        assert AdaptiveMechanism(1.0, 500).selected == "oue"
+
+    def test_delegation_roundtrip(self, rng):
+        mech = AdaptiveMechanism(2.0, 6, rng=rng)
+        true = np.asarray([500, 200, 150, 100, 40, 10])
+        support = mech.simulate_support(true, rng=rng)
+        estimate = mech.estimate(support, 1000)
+        assert estimate.shape == (6,)
+
+    def test_estimate_is_unbiased_both_sides(self, rng):
+        for d in (4, 64):
+            mech = AdaptiveMechanism(1.0, d, rng=rng)
+            true = rng.multinomial(20_000, np.ones(d) / d)
+            trials = np.stack(
+                [
+                    mech.estimate(mech.simulate_support(true, rng=rng), 20_000)
+                    for _ in range(200)
+                ]
+            )
+            se = math.sqrt(mech.variance(20_000, float(true.max())) / 200)
+            assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
+
+    def test_communication_delegates(self):
+        assert AdaptiveMechanism(1.0, 4).communication_bits() == 2
+        assert AdaptiveMechanism(1.0, 500).communication_bits() == 500

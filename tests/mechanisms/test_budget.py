@@ -1,0 +1,52 @@
+"""Privacy-budget splitting."""
+
+import pytest
+
+from repro.exceptions import PrivacyBudgetError
+from repro.mechanisms import PrivacyBudget, split_budget
+
+
+class TestSplitBudget:
+    def test_even_split_default(self):
+        eps1, eps2 = split_budget(4.0)
+        assert eps1 == eps2 == 2.0
+
+    def test_fractional_split(self):
+        eps1, eps2 = split_budget(4.0, label_fraction=0.25)
+        assert eps1 == pytest.approx(1.0)
+        assert eps2 == pytest.approx(3.0)
+
+    def test_halves_sum_to_total(self):
+        for fraction in (0.1, 0.37, 0.9):
+            eps1, eps2 = split_budget(3.3, fraction)
+            assert eps1 + eps2 == pytest.approx(3.3)
+            assert eps1 > 0 and eps2 > 0
+
+    def test_rejects_degenerate_fractions(self):
+        with pytest.raises(PrivacyBudgetError):
+            split_budget(1.0, 0.0)
+        with pytest.raises(PrivacyBudgetError):
+            split_budget(1.0, 1.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(PrivacyBudgetError):
+            split_budget(-1.0)
+
+
+class TestPrivacyBudget:
+    def test_properties(self):
+        budget = PrivacyBudget(4.0, label_fraction=0.5)
+        assert budget.epsilon1 == 2.0
+        assert budget.epsilon2 == 2.0
+        assert budget.as_tuple() == (2.0, 2.0)
+
+    def test_frozen(self):
+        budget = PrivacyBudget(4.0)
+        with pytest.raises(AttributeError):
+            budget.epsilon = 5.0
+
+    def test_validation(self):
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(0.0)
+        with pytest.raises(PrivacyBudgetError):
+            PrivacyBudget(1.0, label_fraction=1.5)

@@ -1,0 +1,77 @@
+"""Hadamard response."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, DomainError
+from repro.mechanisms import HadamardResponse
+from repro.mechanisms.hadamard import _hadamard_entry, next_power_of_two
+
+
+class TestHadamardEntries:
+    def test_matches_scipy(self):
+        from scipy.linalg import hadamard
+
+        K = 16
+        H = hadamard(K)
+        rows = np.repeat(np.arange(K), K)
+        cols = np.tile(np.arange(K), K)
+        ours = _hadamard_entry(rows, cols).reshape(K, K)
+        assert (ours == H).all()
+
+    def test_next_power_of_two(self):
+        assert next_power_of_two(1) == 1
+        assert next_power_of_two(5) == 8
+        assert next_power_of_two(8) == 8
+        with pytest.raises(DomainError):
+            next_power_of_two(0)
+
+
+class TestProtocol:
+    def test_matrix_size_covers_domain(self):
+        mech = HadamardResponse(1.0, 100)
+        assert mech.K >= 101
+        assert mech.K & (mech.K - 1) == 0
+
+    def test_report_structure(self, rng):
+        mech = HadamardResponse(1.0, 10, rng=rng)
+        j, sign = mech.privatize(3)
+        assert 0 <= j < mech.K
+        assert sign in (-1, 1)
+
+    def test_aggregate_rejects_bad_sign(self):
+        mech = HadamardResponse(1.0, 10)
+        with pytest.raises(AggregationError):
+            mech.aggregate([(0, 2)])
+
+    def test_estimate_is_unbiased_protocol(self, rng):
+        mech = HadamardResponse(3.0, 4, rng=rng)
+        true = np.asarray([500, 300, 150, 50])
+        values = np.repeat(np.arange(4), true)
+        trials = np.stack(
+            [
+                mech.estimate(
+                    mech.aggregate([mech.privatize(int(v)) for v in values]), 1000
+                )
+                for _ in range(200)
+            ]
+        )
+        se = math.sqrt(mech.variance(1000, 500) / 200)
+        assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
+
+
+class TestSimulation:
+    def test_simulate_is_unbiased(self, rng):
+        mech = HadamardResponse(1.0, 16, rng=rng)
+        true = rng.multinomial(30_000, np.ones(16) / 16)
+        trials = np.stack(
+            [mech.estimate(mech.simulate_support(true, rng=rng), 30_000) for _ in range(300)]
+        )
+        se = math.sqrt(mech.variance(30_000, float(true.max())) / 300)
+        assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
+
+    def test_communication_is_logarithmic(self):
+        mech = HadamardResponse(1.0, 1 << 16)
+        assert mech.communication_bits() <= 18 + 1

@@ -1,0 +1,79 @@
+"""Optimal local hashing."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.mechanisms import OptimalLocalHashing
+
+
+class TestConstruction:
+    def test_optimal_hash_range(self):
+        mech = OptimalLocalHashing(2.0, 100)
+        assert mech.g == round(math.exp(2.0)) + 1
+
+    def test_minimum_range(self):
+        mech = OptimalLocalHashing(0.1, 100)
+        assert mech.g >= 2
+
+    def test_explicit_range(self):
+        mech = OptimalLocalHashing(1.0, 100, g=16)
+        assert mech.g == 16
+        with pytest.raises(ValueError):
+            OptimalLocalHashing(1.0, 100, g=1)
+
+    def test_collision_probability_is_one_over_g(self):
+        mech = OptimalLocalHashing(1.0, 50)
+        assert mech.q == pytest.approx(1.0 / mech.g)
+
+
+class TestProtocol:
+    def test_report_structure(self, rng):
+        mech = OptimalLocalHashing(1.0, 20, rng=rng)
+        a, b, report = mech.privatize(7)
+        assert a >= 1 and b >= 0
+        assert 0 <= report < mech.g
+
+    def test_aggregate_rejects_bad_report(self):
+        mech = OptimalLocalHashing(1.0, 20)
+        with pytest.raises(AggregationError):
+            mech.aggregate([(3, 5, mech.g)])
+
+    def test_estimate_is_unbiased_protocol(self, rng):
+        """Full per-user OLH pipeline on a small domain."""
+        mech = OptimalLocalHashing(2.0, 8, rng=rng)
+        true = np.asarray([400, 250, 150, 100, 50, 30, 15, 5])
+        values = np.repeat(np.arange(8), true)
+        trials = np.stack(
+            [
+                mech.estimate(mech.aggregate([mech.privatize(int(v)) for v in values]), 1000)
+                for _ in range(150)
+            ]
+        )
+        se = math.sqrt(mech.variance(1000, 400) / 150)
+        assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
+
+
+class TestSimulation:
+    def test_simulate_is_unbiased(self, rng):
+        mech = OptimalLocalHashing(1.0, 32, rng=rng)
+        true = rng.multinomial(20_000, np.ones(32) / 32)
+        trials = np.stack(
+            [mech.estimate(mech.simulate_support(true, rng=rng), 20_000) for _ in range(300)]
+        )
+        se = math.sqrt(mech.variance(20_000, float(true.max())) / 300)
+        assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
+
+    def test_variance_comparable_to_oue(self):
+        """OLH matches OUE's variance order (Wang et al. Section 5)."""
+        from repro.mechanisms import OptimizedUnaryEncoding
+
+        olh = OptimalLocalHashing(1.0, 64)
+        oue = OptimizedUnaryEncoding(1.0, 64)
+        assert olh.variance(10_000) == pytest.approx(oue.variance(10_000), rel=0.25)
+
+    def test_communication_under_domain_size(self):
+        mech = OptimalLocalHashing(1.0, 1 << 20)
+        assert mech.communication_bits() < (1 << 20)

@@ -1,0 +1,85 @@
+"""One-shot RAPPOR."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError
+from repro.mechanisms import Rappor
+
+
+class TestConstruction:
+    def test_epsilon_relation(self):
+        """ε = 2h ln((1-f/2)/(f/2)) recovers the configured budget."""
+        for eps, h in ((1.0, 1), (2.0, 2), (4.0, 4)):
+            mech = Rappor(eps, 16, n_hashes=h)
+            implied = 2 * h * math.log(mech.p / mech.q)
+            assert implied == pytest.approx(eps)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ValueError):
+            Rappor(1.0, 16, n_hashes=0)
+
+    def test_bloom_positions_deterministic(self):
+        a = Rappor(1.0, 16, n_hashes=2)
+        b = Rappor(1.0, 16, n_hashes=2)
+        assert (a.encode(7) == b.encode(7)).all()
+
+
+class TestProtocol:
+    def test_encode_sets_at_most_h_bits(self):
+        mech = Rappor(1.0, 32, n_hashes=2)
+        for v in range(32):
+            assert 1 <= mech.encode(v).sum() <= 2
+
+    def test_report_shape(self, rng):
+        mech = Rappor(1.0, 10, n_hashes=2, n_bits=32, rng=rng)
+        assert mech.privatize(3).shape == (32,)
+
+    def test_aggregate_rejects_bad_shape(self):
+        mech = Rappor(1.0, 10, n_bits=32)
+        with pytest.raises(AggregationError):
+            mech.aggregate([np.zeros(31, dtype=np.uint8)])
+
+    def test_estimate_rejects_bad_shape(self):
+        mech = Rappor(1.0, 10, n_bits=32)
+        with pytest.raises(AggregationError):
+            mech.estimate(np.zeros(31), 100)
+
+
+class TestDecoding:
+    def test_recovers_heavy_hitters(self, rng):
+        """NNLS decode identifies the dominant values (RAPPOR's job)."""
+        mech = Rappor(4.0, 12, n_hashes=2, rng=rng)
+        true = np.asarray([5000, 3000, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2000])
+        support = mech.simulate_support(true, rng=rng)
+        estimate = mech.estimate(support, int(true.sum()))
+        top3 = set(np.argsort(estimate)[-3:])
+        assert top3 == {0, 1, 11}
+
+    def test_estimate_scale_is_right(self, rng):
+        mech = Rappor(4.0, 8, n_hashes=2, rng=rng)
+        true = np.asarray([4000, 2000, 1000, 500, 300, 150, 40, 10])
+        estimates = np.stack(
+            [
+                mech.estimate(mech.simulate_support(true, rng=rng), 8000)
+                for _ in range(50)
+            ]
+        )
+        # NNLS is biased at the tail; require the head to be within 15%.
+        assert estimates.mean(axis=0)[0] == pytest.approx(4000, rel=0.15)
+
+    def test_simulate_matches_protocol_moments(self, rng):
+        mech = Rappor(2.0, 6, n_hashes=2, n_bits=24, rng=rng)
+        true = np.asarray([300, 200, 100, 50, 30, 20])
+        values = np.repeat(np.arange(6), true)
+        proto = np.stack(
+            [
+                mech.aggregate([mech.privatize(int(v)) for v in values])
+                for _ in range(60)
+            ]
+        )
+        sim = np.stack([mech.simulate_support(true, rng=rng) for _ in range(300)])
+        sigma = np.sqrt(sim.var(axis=0) / 300 + proto.var(axis=0) / 60)
+        assert (np.abs(sim.mean(axis=0) - proto.mean(axis=0)) < 5 * sigma + 1e-9).all()

@@ -1,0 +1,54 @@
+"""Frequency error metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DomainError
+from repro.metrics import mae, max_error, relative_error, rmse
+
+
+class TestRMSE:
+    def test_zero_for_perfect_estimate(self):
+        truth = np.asarray([[1.0, 2.0], [3.0, 4.0]])
+        assert rmse(truth, truth) == 0.0
+
+    def test_hand_computed(self):
+        estimated = np.asarray([[1.0, 3.0]])
+        truth = np.asarray([[0.0, 0.0]])
+        assert rmse(estimated, truth) == pytest.approx(np.sqrt((1 + 9) / 2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(DomainError):
+            rmse(np.ones((2, 2)), np.ones((2, 3)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DomainError):
+            rmse(np.ones((0,)), np.ones((0,)))
+
+    def test_scale_equivariance(self):
+        estimated = np.asarray([1.0, 2.0])
+        truth = np.asarray([0.0, 0.0])
+        assert rmse(10 * estimated, 10 * truth) == pytest.approx(10 * rmse(estimated, truth))
+
+
+class TestOtherMetrics:
+    def test_mae(self):
+        assert mae(np.asarray([1.0, -3.0]), np.zeros(2)) == pytest.approx(2.0)
+
+    def test_max_error(self):
+        assert max_error(np.asarray([1.0, -3.0]), np.zeros(2)) == pytest.approx(3.0)
+
+    def test_relative_error_with_floor(self):
+        estimated = np.asarray([2.0, 0.0])
+        truth = np.asarray([1.0, 0.0])
+        # |2-1|/1 = 1 and |0-0|/floor = 0 -> mean 0.5
+        assert relative_error(estimated, truth) == pytest.approx(0.5)
+
+    def test_relative_error_rejects_bad_floor(self):
+        with pytest.raises(DomainError):
+            relative_error(np.ones(2), np.ones(2), floor=0.0)
+
+    def test_mae_below_rmse(self, rng):
+        estimated = rng.normal(size=100)
+        truth = np.zeros(100)
+        assert mae(estimated, truth) <= rmse(estimated, truth)

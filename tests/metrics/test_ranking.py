@@ -1,0 +1,80 @@
+"""Top-k ranking metrics (F1 and NCR)."""
+
+import pytest
+
+from repro.exceptions import DomainError
+from repro.metrics import average_over_classes, f1_score, ncr
+
+
+class TestF1:
+    def test_perfect(self):
+        assert f1_score([1, 2, 3], [3, 2, 1]) == 1.0
+
+    def test_partial(self):
+        assert f1_score([1, 9, 8], [1, 2, 3]) == pytest.approx(1 / 3)
+
+    def test_empty_mined_scores_zero(self):
+        assert f1_score([], [1, 2]) == 0.0
+
+    def test_short_mined_list_allowed(self):
+        assert f1_score([1], [1, 2]) == pytest.approx(0.5)
+
+    def test_rejects_oversized_mined(self):
+        with pytest.raises(DomainError):
+            f1_score([1, 2, 3], [1, 2])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            f1_score([1, 1], [1, 2])
+
+    def test_rejects_empty_truth(self):
+        with pytest.raises(DomainError):
+            f1_score([1], [])
+
+
+class TestNCR:
+    def test_perfect_order(self):
+        assert ncr([5, 6, 7], [5, 6, 7]) == 1.0
+
+    def test_order_within_mined_does_not_matter(self):
+        """NCR weights by the TRUE rank of each recovered item."""
+        assert ncr([7, 6, 5], [5, 6, 7]) == 1.0
+
+    def test_paper_weighting(self):
+        # truth ranks worth 3,2,1; mining only the top-1 earns 3 of 6.
+        assert ncr([5], [5, 6, 7]) == pytest.approx(0.5)
+
+    def test_mining_only_the_last_item(self):
+        assert ncr([7], [5, 6, 7]) == pytest.approx(1 / 6)
+
+    def test_misses_score_zero(self):
+        assert ncr([9, 10], [5, 6]) == 0.0
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(DomainError):
+            ncr([1, 1], [1, 2])
+
+
+class TestAverageOverClasses:
+    def test_averages(self):
+        mined = {0: [1, 2], 1: [9, 8]}
+        truth = {0: [1, 2], 1: [1, 2]}
+        assert average_over_classes(mined, truth, "f1") == pytest.approx(0.5)
+
+    def test_missing_class_scores_zero(self):
+        mined = {0: [1, 2]}
+        truth = {0: [1, 2], 1: [1, 2]}
+        assert average_over_classes(mined, truth, "f1") == pytest.approx(0.5)
+
+    def test_ncr_metric_selection(self):
+        mined = {0: [5]}
+        truth = {0: [5, 6, 7]}
+        assert average_over_classes(mined, truth, "ncr") == pytest.approx(0.5)
+
+    def test_rejects_unknown_metric(self):
+        with pytest.raises(DomainError):
+            average_over_classes({}, {0: [1]}, "auc")
+
+    def test_rejects_empty_truth(self):
+        with pytest.raises(DomainError):
+            average_over_classes({}, {}, "f1")

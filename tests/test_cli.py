@@ -1,0 +1,150 @@
+"""The repro-bench CLI and bench harness plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.bench import EXPERIMENTS, format_table
+from repro.cli import main
+
+
+class TestFormatTable:
+    def test_alignment_and_note(self):
+        out = format_table("T", ["a", "bb"], [[1, 2.5], ["x", 0.001]], note="n.b.")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "n.b." in out
+        assert "2.5" in out
+
+    def test_float_formatting(self):
+        out = format_table("T", ["v"], [[123456.0], [0.00012], [0.0]])
+        assert "1.23e+05" in out
+        assert "0.00012" in out
+
+
+class TestRegistry:
+    def test_every_paper_artifact_has_an_experiment(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3",
+            "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        }
+
+    def test_experiments_have_docstrings(self):
+        for fn in EXPERIMENTS.values():
+            assert fn.__doc__
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out and "table3" in out
+
+    def test_no_argument_lists(self, capsys):
+        assert main([]) == 0
+        assert "Available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["figZ"]) == 2
+
+    def test_runs_cheap_experiment(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert (tmp_path / "table1.txt").exists()
+
+    def test_seed_changes_nothing_for_closed_form(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        assert main(["table2", "--seed", "9"]) == 0
+        assert "Table II" in capsys.readouterr().out
+
+
+class TestComplexityModel:
+    def test_rows_cover_table2(self):
+        from repro.analysis.complexity import table2_rows
+
+        rows = table2_rows(c=5, d=28_000, n=9_000_000, k=20)
+        assert [r.method for r in rows] == [
+            "HEC/PTS (PEM)",
+            "PTJ (PEM)",
+            "PTJ† (Shuffling+VP)",
+            "PTS† (Shuffling+VP+CP)",
+        ]
+
+    def test_optimized_user_cost_independent_of_d(self):
+        from repro.analysis.complexity import pts_optimized_costs
+
+        small = pts_optimized_costs(5, 1_000, 10_000, 20)
+        large = pts_optimized_costs(5, 1_000_000, 10_000, 20)
+        assert small.user_communication == large.user_communication
+
+    def test_pem_user_cost_grows_with_d(self):
+        from repro.analysis.complexity import hec_pts_pem_costs
+
+        small = hec_pts_pem_costs(5, 1_000, 10_000, 20)
+        large = hec_pts_pem_costs(5, 1_000_000, 10_000, 20)
+        assert large.user_communication > small.user_communication
+
+    def test_ptj_costs_factor_c_more(self):
+        from repro.analysis.complexity import hec_pts_pem_costs, ptj_pem_costs
+
+        pts = hec_pts_pem_costs(8, 10_000, 1_000_000, 20)
+        ptj = ptj_pem_costs(8, 10_000, 1_000_000, 20)
+        assert ptj.user_communication > 6 * pts.user_communication
+
+    def test_measured_bits_shape(self):
+        from repro.analysis.complexity import measured_report_bits
+
+        bits = measured_report_bits(5, 28_000, 20)
+        assert bits["PTJ (PEM)"] > bits["HEC/PTS (PEM)"]
+        # Optimized PTS report: log2(c) label bits + 4k bucket bits + flag.
+        assert bits["PTS† (Shuffling+VP+CP)"] == 3 + 81
+
+    def test_validation(self):
+        from repro.analysis.complexity import hec_pts_pem_costs
+        from repro.exceptions import DomainError
+
+        with pytest.raises(DomainError):
+            hec_pts_pem_costs(0, 10, 10, 10)
+
+
+class TestRngHelpers:
+    def test_spawn_independence(self):
+        from repro.rng import ensure_rng, spawn
+
+        parent = ensure_rng(5)
+        children = spawn(parent, 3)
+        draws = [c.random() for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_rejects_negative(self):
+        from repro.rng import ensure_rng, spawn
+
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_ensure_rng_passthrough(self):
+        from repro.rng import ensure_rng
+
+        gen = np.random.default_rng(3)
+        assert ensure_rng(gen) is gen
+
+    def test_domain_spec_flatten_roundtrip(self):
+        from repro.types import DomainSpec
+
+        spec = DomainSpec(n_classes=3, n_items=7)
+        for label in range(3):
+            for item in range(7):
+                assert spec.unflatten(spec.flatten(label, item)) == (label, item)
+
+    def test_domain_spec_validation(self):
+        from repro.exceptions import DomainError
+        from repro.types import DomainSpec
+
+        with pytest.raises(ValueError):
+            DomainSpec(0, 5)
+        spec = DomainSpec(2, 5)
+        with pytest.raises(ValueError):
+            spec.flatten(2, 0)
+        with pytest.raises(ValueError):
+            spec.unflatten(10)

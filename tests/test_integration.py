@@ -1,0 +1,96 @@
+"""Cross-module integration tests: the two paper queries end to end."""
+
+import numpy as np
+import pytest
+
+from repro import LabelItemDataset, estimate_frequencies, mine_topk
+from repro.datasets import syn1, zipf_multiclass
+from repro.metrics import average_over_classes, rmse
+
+
+class TestFrequencyQuery:
+    def test_all_frameworks_on_syn1(self, rng):
+        data = syn1(scale=0.001, rng=rng)
+        for framework in ("hec", "ptj", "pts", "pts-cp"):
+            estimate = estimate_frequencies(
+                data, framework=framework, epsilon=2.0, rng=rng
+            )
+            assert estimate.shape == (4, 4)
+            assert np.isfinite(estimate).all()
+
+    def test_error_shrinks_with_budget(self, small_dataset):
+        """More budget, less error — the universal Fig. 6 trend."""
+        errors = []
+        for eps in (0.5, 2.0, 8.0):
+            trial_errors = [
+                rmse(
+                    estimate_frequencies(
+                        small_dataset, framework="pts-cp", epsilon=eps,
+                        rng=np.random.default_rng(100 + t),
+                    ),
+                    small_dataset.pair_counts(),
+                )
+                for t in range(10)
+            ]
+            errors.append(np.mean(trial_errors))
+        assert errors[0] > errors[1] > errors[2]
+
+    def test_protocol_mode_via_query(self, rng):
+        counts = rng.multinomial(600, np.ones(6) / 6).reshape(2, 3)
+        data = LabelItemDataset.from_pair_counts(counts, rng=rng)
+        estimate = estimate_frequencies(
+            data, framework="pts-cp", epsilon=2.0, mode="protocol", rng=rng
+        )
+        assert estimate.shape == (2, 3)
+
+    def test_label_fraction_forwarded(self, small_dataset, rng):
+        estimate = estimate_frequencies(
+            small_dataset, framework="pts", epsilon=2.0, label_fraction=0.3, rng=rng
+        )
+        assert estimate.shape == (3, 8)
+
+
+class TestTopkQuery:
+    @pytest.fixture
+    def workload(self, rng):
+        return zipf_multiclass(
+            n_users=150_000, n_classes=3, n_items=512, zipf_s=1.4,
+            shared_head=6, rng=rng,
+        )
+
+    def test_optimized_pipeline(self, workload, rng):
+        mined = mine_topk(workload, k=10, framework="pts", epsilon=6.0, rng=rng)
+        truth = workload.true_topk(10)
+        assert set(mined) == {0, 1, 2}
+        assert average_over_classes(mined, truth, "f1") > 0.4
+
+    def test_baseline_pipeline(self, workload, rng):
+        mined = mine_topk(
+            workload, k=10, framework="ptj", epsilon=6.0, optimized=False, rng=rng
+        )
+        assert set(mined) == {0, 1, 2}
+
+    def test_scheme_options_forwarded(self, workload, rng):
+        mined = mine_topk(
+            workload, k=5, framework="pts", epsilon=6.0, rng=rng, a=0.3, b=1.5
+        )
+        assert set(mined) == {0, 1, 2}
+
+    def test_hec_pipeline(self, workload, rng):
+        mined = mine_topk(workload, k=5, framework="hec", epsilon=6.0, rng=rng)
+        assert set(mined) == {0, 1, 2}
+
+
+class TestReproducibility:
+    def test_full_pipeline_deterministic(self, rng):
+        data = zipf_multiclass(
+            n_users=50_000, n_classes=2, n_items=256, rng=np.random.default_rng(1)
+        )
+        a = mine_topk(data, k=5, framework="pts", epsilon=4.0, rng=np.random.default_rng(2))
+        b = mine_topk(data, k=5, framework="pts", epsilon=4.0, rng=np.random.default_rng(2))
+        assert a == b
+
+    def test_dataset_generation_deterministic(self):
+        a = syn1(scale=0.001, rng=np.random.default_rng(3))
+        b = syn1(scale=0.001, rng=np.random.default_rng(3))
+        assert (a.pair_counts() == b.pair_counts()).all()

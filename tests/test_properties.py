@@ -1,0 +1,228 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimators import calibrate_cp, calibrate_ptj, calibrate_pts
+from repro.core.topk import assign_buckets, bits_needed, extend_prefixes, top_indices
+from repro.core.variance import cp_estimate_variance, vp_vs_ldp_variance_gap
+from repro.mechanisms import (
+    GeneralizedRandomResponse,
+    OptimizedUnaryEncoding,
+    ValidityPerturbation,
+    split_budget,
+    ue_epsilon,
+)
+from repro.mechanisms.grr import grr_probabilities
+from repro.mechanisms.ue import oue_probabilities
+
+EPSILONS = st.floats(min_value=0.05, max_value=8.0, allow_nan=False)
+DOMAINS = st.integers(min_value=2, max_value=200)
+
+
+class TestMechanismProperties:
+    @given(eps=EPSILONS, d=DOMAINS)
+    @settings(max_examples=60, deadline=None)
+    def test_grr_probabilities_are_valid(self, eps, d):
+        p, q = grr_probabilities(eps, d)
+        assert 0 < q < p <= 1
+        assert p + (d - 1) * q == float_close(1.0)
+        assert p / q == float_close(math.exp(eps), rel=1e-9)
+
+    @given(eps=EPSILONS)
+    @settings(max_examples=60, deadline=None)
+    def test_oue_satisfies_configured_epsilon(self, eps):
+        p, q = oue_probabilities(eps)
+        assert ue_epsilon(p, q) == float_close(eps, rel=1e-9)
+
+    @given(eps=EPSILONS, d=DOMAINS, value=st.integers(min_value=0, max_value=199))
+    @settings(max_examples=40, deadline=None)
+    def test_grr_report_stays_in_domain(self, eps, d, value):
+        value = value % d
+        mech = GeneralizedRandomResponse(eps, d, rng=np.random.default_rng(0))
+        assert 0 <= mech.privatize(value) < d
+
+    @given(eps=EPSILONS, d=st.integers(min_value=1, max_value=64))
+    @settings(max_examples=40, deadline=None)
+    def test_oue_report_is_bits(self, eps, d):
+        mech = OptimizedUnaryEncoding(eps, d, rng=np.random.default_rng(1))
+        report = mech.privatize(d - 1)
+        assert report.shape == (d,)
+        assert set(np.unique(report)) <= {0, 1}
+
+    @given(
+        eps=EPSILONS,
+        counts=st.lists(st.integers(min_value=0, max_value=500), min_size=2, max_size=20),
+        m=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_vp_simulate_support_bounds(self, eps, counts, m):
+        counts = np.asarray(counts, dtype=np.int64)
+        mech = ValidityPerturbation(eps, counts.size, rng=np.random.default_rng(2))
+        support = mech.simulate_support(counts, n_invalid=m)
+        n = counts.sum() + m
+        assert support.shape == (counts.size + 1,)
+        assert (support >= 0).all()
+        assert (support <= n).all()
+
+    @given(eps=EPSILONS, fraction=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=60, deadline=None)
+    def test_budget_split_sums(self, eps, fraction):
+        e1, e2 = split_budget(eps, fraction)
+        assert e1 > 0 and e2 > 0
+        assert e1 + e2 == float_close(eps, rel=1e-9)
+
+
+class TestCalibrationProperties:
+    @given(
+        eps=EPSILONS,
+        c=st.integers(min_value=2, max_value=6),
+        d=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_cp_calibration_inverts_expectation(self, eps, c, d, seed):
+        """Eq. (4) is the exact inverse of the CP expectation model for
+        arbitrary pair-count matrices."""
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 1000, size=(c, d)).astype(np.float64)
+        p1, q1 = grr_probabilities(eps / 2, c)
+        p2, q2 = oue_probabilities(eps / 2)
+        n_total = truth.sum()
+        sizes = truth.sum(axis=1)
+        support = (
+            truth * p1 * (1 - q2) * p2
+            + (sizes[:, None] - truth) * p1 * (1 - q2) * q2
+            + (n_total - sizes)[:, None] * q1 * (1 - p2) * q2
+        )
+        labels = sizes * p1 + (n_total - sizes) * q1
+        estimate = calibrate_cp(support, labels, int(n_total), p1, q1, p2, q2)
+        assert np.allclose(estimate, truth, atol=1e-6)
+
+    @given(
+        eps=EPSILONS,
+        c=st.integers(min_value=2, max_value=6),
+        d=st.integers(min_value=2, max_value=10),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_pts_calibration_inverts_expectation(self, eps, c, d, seed):
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 1000, size=(c, d)).astype(np.float64)
+        p1, q1 = grr_probabilities(eps / 2, c)
+        p2, q2 = oue_probabilities(eps / 2)
+        n_total = truth.sum()
+        sizes = truth.sum(axis=1)
+        item_totals = truth.sum(axis=0)
+        support = (
+            truth * (p1 - q1) * (p2 - q2)
+            + sizes[:, None] * q2 * (p1 - q1)
+            + item_totals[None, :] * q1 * (p2 - q2)
+            + n_total * q1 * q2
+        )
+        labels = sizes * p1 + (n_total - sizes) * q1
+        estimate = calibrate_pts(support, labels, int(n_total), p1, q1, p2, q2)
+        assert np.allclose(estimate, truth, atol=1e-6)
+
+    @given(
+        p=st.floats(min_value=0.11, max_value=0.99),
+        q_fraction=st.floats(min_value=0.01, max_value=0.9),
+        c=st.integers(min_value=2, max_value=8),
+        d=st.integers(min_value=2, max_value=30),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_ptj_calibration_inverts_expectation(self, p, q_fraction, c, d, seed):
+        q = p * q_fraction
+        rng = np.random.default_rng(seed)
+        truth = rng.integers(0, 100, size=c * d).astype(np.float64)
+        n = truth.sum()
+        support = truth * p + (n - truth) * q
+        estimate = calibrate_ptj(support, int(n), p, q, c)
+        assert np.allclose(estimate.ravel(), truth, atol=1e-6)
+
+
+class TestTheoryProperties:
+    @given(
+        eps=EPSILONS,
+        n1=st.integers(min_value=0, max_value=10_000),
+        n2=st.integers(min_value=0, max_value=10_000),
+        m=st.integers(min_value=1, max_value=10_000),
+        d=st.integers(min_value=2, max_value=1000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vp_variance_gap_always_negative(self, eps, n1, n2, m, d):
+        """Section V-B: the VP-vs-LDP gap is negative in every regime."""
+        p, q = oue_probabilities(eps)
+        assert vp_vs_ldp_variance_gap(n1, n2, m, d, p, q) < 0
+
+    @given(
+        eps=EPSILONS,
+        f=st.floats(min_value=0, max_value=1e4),
+        n_extra=st.floats(min_value=0, max_value=1e6),
+        big_extra=st.floats(min_value=0, max_value=1e6),
+        c=st.integers(min_value=2, max_value=10),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cp_variance_positive(self, eps, f, n_extra, big_extra, c):
+        n = f + n_extra
+        n_total = n + big_extra
+        p1, q1 = grr_probabilities(eps / 2, c)
+        p2, q2 = oue_probabilities(eps / 2)
+        assert cp_estimate_variance(f, n, n_total, p1, q1, p2, q2) >= 0
+
+
+class TestTopkProperties:
+    @given(
+        n=st.integers(min_value=1, max_value=500),
+        buckets=st.integers(min_value=1, max_value=64),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_buckets_partition_candidates(self, n, buckets, seed):
+        assignment = assign_buckets(np.arange(n), buckets, seed)
+        sizes = assignment.bucket_sizes()
+        assert sizes.sum() == n
+        assert sizes.max() - sizes.min() <= 1
+
+    @given(
+        values=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=100),
+        k=st.integers(min_value=1, max_value=120),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_top_indices_sorted_by_value(self, values, k):
+        support = np.asarray(values)
+        out = top_indices(support, k)
+        assert out.size == min(k, support.size)
+        picked = support[out]
+        assert (np.diff(picked) <= 0).all()
+        if out.size < support.size:
+            rest = np.delete(support, out)
+            assert picked.min() >= rest.max()
+
+    @given(
+        prefixes=st.lists(st.integers(min_value=0, max_value=255), min_size=1, max_size=16, unique=True),
+        bits=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extend_prefixes_count_and_uniqueness(self, prefixes, bits):
+        out = extend_prefixes(np.asarray(prefixes), bits)
+        assert out.size == len(prefixes) << bits
+        assert np.unique(out).size == out.size
+
+    @given(d=st.integers(min_value=1, max_value=1 << 20))
+    @settings(max_examples=60, deadline=None)
+    def test_bits_needed_bounds(self, d):
+        bits = bits_needed(d)
+        assert (1 << bits) >= d
+        assert bits == 1 or (1 << (bits - 1)) < d
+
+
+def float_close(value: float, rel: float = 1e-12):
+    """Tiny pytest.approx stand-in usable inside hypothesis asserts."""
+    import pytest
+
+    return pytest.approx(value, rel=rel)
