@@ -1,0 +1,20 @@
+"""Streaming ingestion throughput — reports/sec at 1M+ users.
+
+Runs :func:`repro.bench.stream.run_stream_benchmark` once under the
+pytest-benchmark timer; the report lands in benchmarks/results/stream.txt
+and the machine-readable artifact in BENCH_stream.json (repo root) so
+successive PRs can track the throughput trajectory.
+"""
+
+from repro.bench.reporting import bench_scale, emit
+from repro.bench.stream import run_stream_benchmark
+
+
+def test_stream(benchmark):
+    report, payload = benchmark.pedantic(
+        lambda: run_stream_benchmark(scale=bench_scale()), iterations=1, rounds=1
+    )
+    emit("stream", report)
+    assert "reports/sec" in report
+    # The quick scale must sustain a seven-figure stream per framework.
+    assert payload["total_reports"] >= 1_000_000

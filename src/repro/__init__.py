@@ -47,9 +47,10 @@ from .mechanisms import (
     PrivacyBudget,
     ValidityPerturbation,
 )
+from .stream import OnlineFrameworkSession, ShardedAggregator, make_session
 from .types import INVALID_ITEM, DomainSpec, LabelItemPair
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AggregationError",
@@ -63,6 +64,7 @@ __all__ = [
     "LabelItemDataset",
     "LabelItemPair",
     "MulticlassFramework",
+    "OnlineFrameworkSession",
     "OptimizedUnaryEncoding",
     "PTJFramework",
     "PTSCPFramework",
@@ -71,9 +73,11 @@ __all__ = [
     "PrivacyBudgetError",
     "ProtocolError",
     "ReproError",
+    "ShardedAggregator",
     "ValidityPerturbation",
     "estimate_frequencies",
     "make_framework",
+    "make_session",
     "mine_topk",
     "__version__",
 ]

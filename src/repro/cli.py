@@ -1,4 +1,5 @@
-"""Command-line entry point: regenerate the paper's tables and figures.
+"""Command-line entry point: regenerate the paper's tables and figures,
+and run the streaming ingestion benchmark.
 
 Examples::
 
@@ -6,6 +7,7 @@ Examples::
     repro-bench fig7
     repro-bench table3 --scale full --seed 7
     repro-bench all
+    repro-bench stream --scale quick --shards 4
     python -m repro fig6           # equivalent module form
 """
 
@@ -16,7 +18,7 @@ import sys
 from typing import Optional, Sequence
 
 from .bench.experiments import EXPERIMENTS, run_experiment
-from .bench.reporting import emit
+from .bench.reporting import bench_scale, emit
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -30,7 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         nargs="?",
-        help=f"experiment id ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+        help=(
+            f"experiment id ({', '.join(sorted(EXPERIMENTS))}), 'all', or "
+            "'stream' (streaming ingestion benchmark)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -42,6 +47,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
     )
+    stream = parser.add_argument_group("stream benchmark options")
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker shards (default: one per CPU, capped at 8)",
+    )
+    stream.add_argument(
+        "--batch-size", type=int, default=None, help="reports per ingested batch"
+    )
+    stream.add_argument(
+        "--users", type=int, default=None, help="stream length override (reports)"
+    )
     return parser
 
 
@@ -52,6 +70,35 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         for name in sorted(EXPERIMENTS):
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {doc}")
+        print("  stream   Streaming ingestion throughput benchmark (reports/sec).")
+        return 0
+    if args.experiment != "stream":
+        set_flags = [
+            flag
+            for flag, value in (
+                ("--shards", args.shards),
+                ("--batch-size", args.batch_size),
+                ("--users", args.users),
+            )
+            if value is not None
+        ]
+        if set_flags:
+            print(
+                f"{', '.join(set_flags)} only apply to the 'stream' benchmark",
+                file=sys.stderr,
+            )
+            return 2
+    if args.experiment == "stream":
+        from .bench.stream import run_stream_benchmark
+
+        report, _payload = run_stream_benchmark(
+            scale=args.scale or bench_scale(),
+            seed=args.seed,
+            n_users=args.users,
+            n_shards=args.shards,
+            batch_size=args.batch_size,
+        )
+        emit("stream", report)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -83,6 +83,30 @@ class MulticlassFramework(abc.ABC):
     def communication_bits_per_user(self) -> int:
         """Per-user report size in bits (Table II accounting)."""
 
+    def streaming_session(self, rng: RngLike = None):
+        """A fresh online session with this framework's configuration.
+
+        The session ingests ``(labels, items)`` batches incrementally and
+        answers ``estimate()`` / ``topk(k)`` queries at any point
+        mid-stream (see :mod:`repro.stream.session`).  Pass ``rng`` to
+        give the session its own stream; it defaults to a child of this
+        framework's generator so framework and session stay independent.
+        """
+        from ...rng import spawn
+        from ...stream.session import make_session
+
+        if rng is None:
+            rng = spawn(self.rng, 1)[0]
+        return make_session(
+            self.name,
+            epsilon=self.epsilon,
+            n_classes=self.n_classes,
+            n_items=self.n_items,
+            mode=self.mode,
+            rng=rng,
+            label_fraction=getattr(self, "label_fraction", None),
+        )
+
     # ------------------------------------------------------------------
     # subclass hooks
     # ------------------------------------------------------------------

@@ -21,6 +21,37 @@ from ..estimators import calibrate_hec
 from .base import MulticlassFramework, split_counts_into_groups
 
 
+def simulate_hec_group_support(
+    oracle, valid_counts: np.ndarray, n_invalid: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Support of one HEC group: valid users through the adaptive oracle,
+    invalid users replaced by a uniformly random item first.
+
+    Module-level so the streaming session
+    (:class:`repro.stream.session.OnlineHEC`) shares the exact sampling
+    law with the one-shot framework.
+    """
+    d = oracle.domain_size
+    if oracle.name == "grr":
+        support = oracle.simulate_support(valid_counts, rng=rng)
+        if n_invalid:
+            # uniform item + GRR lands uniformly on the whole domain
+            # (q + (p-q)/d per value, summing to one).
+            support += rng.multinomial(n_invalid, np.full(d, 1.0 / d))
+        return support
+    # OUE: valid users are exact binomials; an invalid user sets bit v
+    # with marginal probability q + (p - q)/d.
+    p, q = oracle.p, oracle.q
+    valid_counts = np.asarray(valid_counts, dtype=np.int64)
+    n_valid = int(valid_counts.sum())
+    ones = rng.binomial(valid_counts, p)
+    zeros = rng.binomial(n_valid - valid_counts, q)
+    support = ones + zeros
+    if n_invalid:
+        support += rng.binomial(np.full(d, n_invalid), q + (p - q) / d)
+    return support.astype(np.int64)
+
+
 class HECFramework(MulticlassFramework):
     """User-partition strawman with random-item deniability."""
 
@@ -78,26 +109,7 @@ class HECFramework(MulticlassFramework):
     def _simulate_group(
         self, valid_counts: np.ndarray, n_invalid: int, rng: np.random.Generator
     ) -> np.ndarray:
-        """Support of one group: valid users through the oracle, invalid
-        users replaced by a uniformly random item first."""
-        d = self.n_items
-        if self._oracle.name == "grr":
-            support = self._oracle.simulate_support(valid_counts, rng=rng)
-            if n_invalid:
-                # uniform item + GRR lands uniformly on the whole domain
-                # (q + (p-q)/d per value, summing to one).
-                support += rng.multinomial(n_invalid, np.full(d, 1.0 / d))
-            return support
-        # OUE: valid users are exact binomials; an invalid user sets bit v
-        # with marginal probability q + (p - q)/d.
-        p, q = self._oracle.p, self._oracle.q
-        n_valid = int(valid_counts.sum())
-        ones = rng.binomial(valid_counts, p)
-        zeros = rng.binomial(n_valid - valid_counts, q)
-        support = ones + zeros
-        if n_invalid:
-            support += rng.binomial(np.full(d, n_invalid), q + (p - q) / d)
-        return support.astype(np.int64)
+        return simulate_hec_group_support(self._oracle, valid_counts, n_invalid, rng)
 
     # ------------------------------------------------------------------
     # protocol path

@@ -24,6 +24,33 @@ from ..estimators import calibrate_pts
 from .base import MulticlassFramework
 
 
+def route_labels_grr(
+    pair_counts: np.ndarray, p1: float, rng: np.random.Generator
+) -> np.ndarray:
+    """GRR-route users by label: returns ``(c, d)`` counts of users
+    reported under each label, preserving their true items.
+
+    Module-level so the streaming session
+    (:class:`repro.stream.session.OnlinePTS`) shares the exact routing law
+    with the one-shot framework.
+    """
+    counts = np.asarray(pair_counts, dtype=np.int64)
+    c = counts.shape[0]
+    stay = rng.binomial(counts, p1)
+    leavers = counts - stay
+    routed = stay.astype(np.int64)
+    uniform_others = np.full(c - 1, 1.0 / (c - 1))
+    for origin in range(c):
+        row = leavers[origin]
+        total = int(row.sum())
+        if total == 0:
+            continue
+        destinations = rng.multinomial(row, uniform_others)
+        others = np.delete(np.arange(c), origin)
+        routed[others] += destinations.T
+    return routed
+
+
 class PTSFramework(MulticlassFramework):
     """Split-budget framework: GRR labels (ε₁) + OUE items (ε₂)."""
 
@@ -44,6 +71,7 @@ class PTSFramework(MulticlassFramework):
                 "PTS needs at least two classes (with one class the label "
                 "perturbation is vacuous; use a plain frequency oracle)"
             )
+        self.label_fraction = float(label_fraction)
         self.epsilon1, self.epsilon2 = split_budget(epsilon, label_fraction)
         self._label_oracle = GeneralizedRandomResponse(
             self.epsilon1, self.n_classes, rng=self.rng
@@ -80,22 +108,7 @@ class PTSFramework(MulticlassFramework):
     def _route_labels(
         self, pair_counts: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
-        """GRR-route users by label: returns ``(c, d)`` counts of users
-        reported under each label, preserving their true items."""
-        c = self.n_classes
-        stay = rng.binomial(pair_counts, self.p1)
-        leavers = pair_counts - stay
-        routed = stay.astype(np.int64)
-        uniform_others = np.full(c - 1, 1.0 / (c - 1))
-        for origin in range(c):
-            row = leavers[origin]
-            total = int(row.sum())
-            if total == 0:
-                continue
-            destinations = rng.multinomial(row, uniform_others)
-            others = np.delete(np.arange(c), origin)
-            routed[others] += destinations.T
-        return routed
+        return route_labels_grr(pair_counts, self.p1, rng)
 
     def _estimate_simulated(
         self, dataset: LabelItemDataset, rng: np.random.Generator

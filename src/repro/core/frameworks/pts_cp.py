@@ -37,6 +37,7 @@ class PTSCPFramework(MulticlassFramework):
         super().__init__(epsilon, n_classes, n_items, mode=mode, rng=rng)
         if self.n_classes < 2:
             raise ConfigurationError("PTS-CP needs at least two classes")
+        self.label_fraction = float(label_fraction)
         self.epsilon1, self.epsilon2 = split_budget(epsilon, label_fraction)
         self._mechanism = CorrelatedPerturbation(
             self.epsilon1,

@@ -30,6 +30,7 @@ from .reporting import (
     simulate_iteration_support,
     split_counts_over_iterations,
     top_indices,
+    topk_per_class,
 )
 from .scheme import OPTIMIZATIONS, TOPK_FRAMEWORKS, MultiClassTopK
 from .shuffling import (
@@ -71,4 +72,5 @@ __all__ = [
     "simulate_iteration_support",
     "split_counts_over_iterations",
     "top_indices",
+    "topk_per_class",
 ]

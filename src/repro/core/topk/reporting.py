@@ -130,3 +130,20 @@ def top_indices(support: np.ndarray, k: int) -> np.ndarray:
     k = min(k, support.size)
     order = np.lexsort((np.arange(support.size), -support.astype(np.float64)))
     return order[:k]
+
+
+def topk_per_class(estimates: np.ndarray, k: int) -> dict[int, list[int]]:
+    """Per-class top-``k`` item ids from a ``(c, d)`` estimate matrix.
+
+    The online-query counterpart of
+    :meth:`repro.datasets.base.LabelItemDataset.true_topk`: same ordering
+    rule (most frequent first, ties toward the smaller id), applied to
+    estimated counts.  Used by the streaming sessions' ``topk`` query.
+    """
+    matrix = np.asarray(estimates)
+    if matrix.ndim != 2:
+        raise DomainError(f"estimates must be a (c, d) matrix, got {matrix.shape}")
+    return {
+        label: [int(i) for i in top_indices(matrix[label], k)]
+        for label in range(matrix.shape[0])
+    }

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -88,8 +88,13 @@ class FrequencyOracle(abc.ABC):
     def privatize(self, value: int) -> Report:
         """Perturb one user's ``value`` into an ε-LDP report."""
 
-    def privatize_many(self, values: np.ndarray) -> list[Report]:
-        """Privatise a batch of values (one independent report each)."""
+    def privatize_many(self, values: np.ndarray) -> Union[Sequence[Report], np.ndarray]:
+        """Privatise a batch of values (one independent report each).
+
+        The base implementation returns a list; vectorised overrides
+        (e.g. GRR) return an ``np.ndarray`` — treat the result as an
+        opaque sequence of reports.
+        """
         return [self.privatize(int(v)) for v in np.asarray(values).ravel()]
 
     # ------------------------------------------------------------------
@@ -111,6 +116,18 @@ class FrequencyOracle(abc.ABC):
         """Convenience: aggregate then estimate."""
         reports = list(reports)
         return self.estimate(self.aggregate(reports), len(reports))
+
+    def accumulator(self):
+        """Fresh mergeable streaming accumulator for this oracle's reports.
+
+        The accumulator ingests report batches incrementally and merges
+        associatively across shards; ``accumulator().support()`` after
+        ingesting a report set equals :meth:`aggregate` on the same set.
+        See :mod:`repro.stream.accumulators`.
+        """
+        from ..stream.accumulators import accumulator_for
+
+        return accumulator_for(self)
 
     # ------------------------------------------------------------------
     # exact simulation fast path

@@ -166,6 +166,13 @@ class CorrelatedPerturbation:
                 item_support[perturbed_label] += bits[:d].astype(np.int64)
         return CorrelatedSupport(item_support, flag_support, label_counts, n_users)
 
+    def accumulator(self):
+        """Fresh mergeable streaming accumulator for ``(label, bits)``
+        reports (see :class:`repro.stream.accumulators.CorrelatedAccumulator`)."""
+        from ..stream.accumulators import accumulator_for
+
+        return accumulator_for(self)
+
     def estimate_class_sizes(self, support: CorrelatedSupport) -> np.ndarray:
         """Unbiased class sizes ``n̂ = (ñ - N q₁) / (p₁ - q₁)``."""
         n = support.n_users

@@ -14,7 +14,7 @@ from typing import Iterable, Optional
 
 import numpy as np
 
-from ..exceptions import AggregationError
+from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from .base import (
     FrequencyOracle,
@@ -58,24 +58,34 @@ class GeneralizedRandomResponse(FrequencyOracle):
         other = int(self.rng.integers(0, d - 1))
         return other + (other >= value)
 
-    def privatize_many(self, values: np.ndarray) -> list[int]:
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Privatise a batch in one vectorised pass.
+
+        Returns ``int64`` reports as an array rather than a list — array
+        callers (aggregation, streaming accumulators) consume it directly
+        and list-style callers iterate it unchanged.
+        """
         values = np.asarray(values, dtype=np.int64).ravel()
-        for v in values:
-            self._check_value(int(v))
         d = self.domain_size
+        if values.size and (values.min() < 0 or values.max() >= d):
+            raise DomainError(
+                f"values outside domain [0, {d}): "
+                f"range [{values.min()}, {values.max()}]"
+            )
         if d == 1:
-            return [0] * len(values)
-        keep = self.rng.random(len(values)) < self.p
-        others = self.rng.integers(0, d - 1, size=len(values))
+            return np.zeros(values.size, dtype=np.int64)
+        keep = self.rng.random(values.size) < self.p
+        others = self.rng.integers(0, d - 1, size=values.size)
         others = others + (others >= values)
-        out = np.where(keep, values, others)
-        return [int(v) for v in out]
+        return np.where(keep, values, others).astype(np.int64)
 
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
     def aggregate(self, reports: Iterable[int]) -> np.ndarray:
-        reports = np.asarray(list(reports), dtype=np.int64)
+        if not isinstance(reports, np.ndarray):
+            reports = list(reports)
+        reports = np.asarray(reports, dtype=np.int64).ravel()
         if reports.size and (reports.min() < 0 or reports.max() >= self.domain_size):
             raise AggregationError("GRR report outside domain")
         return np.bincount(reports, minlength=self.domain_size).astype(np.int64)

@@ -1,0 +1,75 @@
+"""Streaming ingestion subsystem: online, shardable LDP aggregation.
+
+The one-shot reproduction harness runs each protocol as a single batch;
+this subpackage converts aggregation into an online system:
+
+* :mod:`~repro.stream.accumulators` — mergeable per-mechanism support
+  accumulators (``ingest_batch`` / associative ``merge``), built from any
+  oracle via ``mechanism.accumulator()``.
+* :mod:`~repro.stream.sharding` — :class:`ShardedAggregator`, fanning
+  batches across worker shards and merging partial states.
+* :mod:`~repro.stream.session` — :class:`OnlineFrameworkSession` per
+  framework (HEC / PTJ / PTS / PTS-CP): ingest ``(labels, items)``
+  batches, query ``estimate()`` / ``topk(k)`` at any time, merge across
+  shards, checkpoint to ``.npz``.
+* :mod:`~repro.stream.checkpoint` — the plain-data ``.npz`` state format.
+
+Quickstart::
+
+    import numpy as np
+    from repro.stream import make_session
+
+    session = make_session("pts-cp", epsilon=2.0, n_classes=3, n_items=50,
+                           rng=np.random.default_rng(7))
+    for labels, items in batches:          # any batch split
+        session.ingest_batch(labels, items)
+        partial = session.estimate()       # query mid-stream
+    top = session.topk(10)
+    session.save("checkpoint.npz")
+"""
+
+from .accumulators import (
+    ACCUMULATORS,
+    BitVectorAccumulator,
+    CorrelatedAccumulator,
+    CountAccumulator,
+    FlagFilteredAccumulator,
+    HadamardAccumulator,
+    LocalHashAccumulator,
+    SupportAccumulator,
+    accumulator_for,
+)
+from .checkpoint import load_state, save_state
+from .session import (
+    SESSIONS,
+    OnlineFrameworkSession,
+    OnlineHEC,
+    OnlinePTJ,
+    OnlinePTS,
+    OnlinePTSCP,
+    make_session,
+)
+from .sharding import ShardedAggregator, default_shard_count
+
+__all__ = [
+    "ACCUMULATORS",
+    "BitVectorAccumulator",
+    "CorrelatedAccumulator",
+    "CountAccumulator",
+    "FlagFilteredAccumulator",
+    "HadamardAccumulator",
+    "LocalHashAccumulator",
+    "OnlineFrameworkSession",
+    "OnlineHEC",
+    "OnlinePTJ",
+    "OnlinePTS",
+    "OnlinePTSCP",
+    "SESSIONS",
+    "ShardedAggregator",
+    "SupportAccumulator",
+    "accumulator_for",
+    "default_shard_count",
+    "load_state",
+    "make_session",
+    "save_state",
+]

@@ -89,6 +89,23 @@ class TestClientSide:
         with pytest.raises(DomainError):
             mech.privatize_many(np.asarray([0, 6]))
 
+    def test_privatize_many_returns_array(self, rng):
+        mech = GeneralizedRandomResponse(1.0, 6, rng=rng)
+        out = mech.privatize_many(np.asarray([0, 1, 2]))
+        assert isinstance(out, np.ndarray)
+        assert out.dtype == np.int64
+        # Degenerate domain keeps the array contract.
+        trivial = GeneralizedRandomResponse(1.0, 1, rng=rng).privatize_many([0, 0])
+        assert isinstance(trivial, np.ndarray)
+        assert trivial.tolist() == [0, 0]
+
+    def test_aggregate_accepts_array_reports(self, rng):
+        mech = GeneralizedRandomResponse(1.0, 6, rng=rng)
+        reports = mech.privatize_many(np.asarray([0, 1, 2, 3, 4, 5]))
+        np.testing.assert_array_equal(
+            mech.aggregate(reports), mech.aggregate(list(reports))
+        )
+
 
 class TestServerSide:
     def test_aggregate_counts(self):

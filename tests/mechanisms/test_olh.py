@@ -56,6 +56,38 @@ class TestProtocol:
         assert np.abs(trials.mean(axis=0) - true).max() < 6 * se
 
 
+class TestBulkAggregate:
+    def test_bulk_matches_per_report_reference(self, rng):
+        """The vectorised aggregate equals the literal per-report loop."""
+        from repro.mechanisms.olh import _universal_hash
+
+        mech = OptimalLocalHashing(1.0, 17, rng=rng)
+        reports = [mech.privatize(int(v)) for v in rng.integers(0, 17, 200)]
+        domain = np.arange(17)
+        expected = np.zeros(17, dtype=np.int64)
+        for a, b, report in reports:
+            expected += _universal_hash(domain, a, b, mech.g) == report
+        np.testing.assert_array_equal(mech.aggregate(reports), expected)
+
+    def test_bulk_blocking_is_invisible(self, rng):
+        """Block size only affects memory, never the counts."""
+        from repro.mechanisms.olh import bulk_hash_support
+
+        mech = OptimalLocalHashing(1.0, 40, rng=rng)
+        arr = np.asarray([mech.privatize(int(v)) for v in rng.integers(0, 40, 100)])
+        small = bulk_hash_support(
+            arr[:, 0], arr[:, 1], arr[:, 2], 40, mech.g, block_elements=64
+        )
+        large = bulk_hash_support(arr[:, 0], arr[:, 1], arr[:, 2], 40, mech.g)
+        np.testing.assert_array_equal(small, large)
+
+    def test_empty_and_malformed_reports(self):
+        mech = OptimalLocalHashing(1.0, 8)
+        assert mech.aggregate([]).tolist() == [0] * 8
+        with pytest.raises(AggregationError):
+            mech.aggregate([(1, 2)])
+
+
 class TestSimulation:
     def test_simulate_is_unbiased(self, rng):
         mech = OptimalLocalHashing(1.0, 32, rng=rng)

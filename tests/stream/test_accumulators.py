@@ -1,0 +1,272 @@
+"""Accumulator laws: batch/one-shot equivalence, merge algebra, state."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, ConfigurationError
+from repro.mechanisms import (
+    AdaptiveMechanism,
+    CorrelatedPerturbation,
+    GeneralizedRandomResponse,
+    HadamardResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    Rappor,
+    SymmetricUnaryEncoding,
+    ValidityPerturbation,
+)
+from repro.stream import (
+    BitVectorAccumulator,
+    CorrelatedAccumulator,
+    CountAccumulator,
+    FlagFilteredAccumulator,
+    HadamardAccumulator,
+    LocalHashAccumulator,
+    SupportAccumulator,
+    accumulator_for,
+)
+
+D = 7
+
+
+def _mechanisms(rng):
+    return [
+        GeneralizedRandomResponse(1.0, D, rng=rng),
+        OptimizedUnaryEncoding(1.0, D, rng=rng),
+        SymmetricUnaryEncoding(1.0, D, rng=rng),
+        OptimalLocalHashing(1.0, D, rng=rng),
+        HadamardResponse(1.0, D, rng=rng),
+        ValidityPerturbation(1.0, D, rng=rng),
+        Rappor(1.0, D, rng=rng),
+        AdaptiveMechanism(1.0, D, rng=rng),
+    ]
+
+
+def _reports(mech, rng, count=60):
+    return [mech.privatize(int(v)) for v in rng.integers(0, D, count)]
+
+
+class TestBatchOneShotEquivalence:
+    """ingest_batch over any split == the mechanism's one-shot aggregate."""
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_split_ingest_matches_aggregate(self, index, rng):
+        mech = _mechanisms(rng)[index]
+        reports = _reports(mech, rng)
+        acc = mech.accumulator()
+        acc.ingest_batch(reports[:17])
+        acc.ingest_batch(reports[17:40])
+        acc.ingest_batch(reports[40:])
+        assert acc.n == len(reports)
+        np.testing.assert_array_equal(acc.support(), mech.aggregate(reports))
+
+    @pytest.mark.parametrize("index", range(8))
+    def test_single_ingest_matches_batch(self, index, rng):
+        mech = _mechanisms(rng)[index]
+        reports = _reports(mech, rng, count=20)
+        one_by_one = mech.accumulator()
+        for report in reports:
+            one_by_one.ingest(report)
+        batched = mech.accumulator()
+        batched.ingest_batch(reports)
+        np.testing.assert_array_equal(one_by_one.support(), batched.support())
+
+    def test_correlated_matches_aggregate(self, rng):
+        cp = CorrelatedPerturbation(0.5, 0.5, n_classes=3, n_items=5, rng=rng)
+        pairs = list(zip(rng.integers(0, 3, 80), rng.integers(0, 5, 80)))
+        reports = [cp.privatize(int(l), int(i)) for l, i in pairs]
+        acc = cp.accumulator()
+        acc.ingest_batch(reports[:33])
+        acc.ingest_batch(reports[33:])
+        reference = cp.aggregate(reports)
+        state = acc.as_correlated_support()
+        np.testing.assert_array_equal(state.item_support, reference.item_support)
+        np.testing.assert_array_equal(state.flag_support, reference.flag_support)
+        np.testing.assert_array_equal(state.label_counts, reference.label_counts)
+        assert state.n_users == reference.n_users
+
+    def test_correlated_array_form(self, rng):
+        """A (labels, bits-matrix) tuple batch equals the list-of-pairs form."""
+        cp = CorrelatedPerturbation(0.5, 0.5, n_classes=3, n_items=5, rng=rng)
+        reports = [cp.privatize(int(l), int(i))
+                   for l, i in zip(rng.integers(0, 3, 40), rng.integers(0, 5, 40))]
+        as_list = cp.accumulator()
+        as_list.ingest_batch(reports)
+        as_arrays = cp.accumulator()
+        labels = np.asarray([label for label, _ in reports])
+        bits = np.stack([bits for _, bits in reports])
+        as_arrays.ingest_batch((labels, bits))
+        np.testing.assert_array_equal(as_list.support(), as_arrays.support())
+
+    def test_olh_column_form(self, rng):
+        mech = OptimalLocalHashing(1.0, D, rng=rng)
+        reports = _reports(mech, rng, count=30)
+        as_list = mech.accumulator()
+        as_list.ingest_batch(reports)
+        arr = np.asarray(reports, dtype=np.int64)
+        as_columns = mech.accumulator()
+        as_columns.ingest_batch((arr[:, 0], arr[:, 1], arr[:, 2]))
+        np.testing.assert_array_equal(as_list.support(), as_columns.support())
+
+    def test_olh_tuple_of_three_triples_is_rows(self, rng):
+        """A tuple holding exactly three report triples must be parsed as
+        rows, not mistaken for the (a, b, r) column form."""
+        mech = OptimalLocalHashing(1.0, D, rng=rng)
+        reports = tuple(_reports(mech, rng, count=3))
+        as_tuple = mech.accumulator()
+        as_tuple.ingest_batch(reports)
+        as_list = mech.accumulator()
+        as_list.ingest_batch(list(reports))
+        assert as_tuple.n == 3
+        np.testing.assert_array_equal(as_tuple.support(), as_list.support())
+
+
+class TestMergeAlgebra:
+    @pytest.mark.parametrize("index", range(8))
+    def test_merge_is_associative_and_commutative(self, index, rng):
+        mech = _mechanisms(rng)[index]
+        reports = _reports(mech, rng, count=45)
+        parts = [mech.accumulator() for _ in range(3)]
+        parts[0].ingest_batch(reports[:15])
+        parts[1].ingest_batch(reports[15:30])
+        parts[2].ingest_batch(reports[30:])
+        left = parts[0].merge(parts[1]).merge(parts[2])
+        right = parts[0].merge(parts[1].merge(parts[2]))
+        swapped = parts[2].merge(parts[0]).merge(parts[1])
+        whole = mech.accumulator()
+        whole.ingest_batch(reports)
+        for candidate in (left, right, swapped):
+            np.testing.assert_array_equal(candidate.support(), whole.support())
+            assert candidate.n == whole.n
+
+    def test_merge_with_empty_is_identity(self, rng):
+        mech = GeneralizedRandomResponse(1.0, D, rng=rng)
+        acc = mech.accumulator()
+        acc.ingest_batch(_reports(mech, rng, count=25))
+        merged = acc.merge(mech.accumulator())
+        np.testing.assert_array_equal(merged.support(), acc.support())
+        assert merged.n == acc.n
+
+    def test_merge_leaves_operands_untouched(self, rng):
+        mech = GeneralizedRandomResponse(1.0, D, rng=rng)
+        a, b = mech.accumulator(), mech.accumulator()
+        a.ingest_batch(_reports(mech, rng, count=10))
+        b.ingest_batch(_reports(mech, rng, count=10))
+        before_a, before_b = a.support(), b.support()
+        a.merge(b)
+        np.testing.assert_array_equal(a.support(), before_a)
+        np.testing.assert_array_equal(b.support(), before_b)
+
+    def test_incompatible_merge_rejected(self):
+        with pytest.raises(AggregationError):
+            CountAccumulator(4).merge(CountAccumulator(5))
+        with pytest.raises(AggregationError):
+            CountAccumulator(4).merge(BitVectorAccumulator(4))
+        with pytest.raises(AggregationError):
+            LocalHashAccumulator(4, g=3).merge(LocalHashAccumulator(4, g=4))
+
+
+class TestStateRoundTrip:
+    @pytest.mark.parametrize("index", range(8))
+    def test_state_dict_round_trip(self, index, rng):
+        mech = _mechanisms(rng)[index]
+        acc = mech.accumulator()
+        acc.ingest_batch(_reports(mech, rng, count=30))
+        restored = SupportAccumulator.from_state(acc.state_dict())
+        assert type(restored) is type(acc)
+        np.testing.assert_array_equal(restored.support(), acc.support())
+        assert restored.n == acc.n
+
+    def test_npz_round_trip(self, rng, tmp_path):
+        mech = ValidityPerturbation(1.0, D, rng=rng)
+        acc = mech.accumulator()
+        acc.ingest_batch(_reports(mech, rng, count=30))
+        path = tmp_path / "vp-state"
+        acc.save(path)
+        restored = SupportAccumulator.load(path)
+        np.testing.assert_array_equal(restored.support(), acc.support())
+        assert restored.n == acc.n
+        # Ingestion continues identically after restore.
+        more = _reports(mech, rng, count=10)
+        acc.ingest_batch(more)
+        restored.ingest_batch(more)
+        np.testing.assert_array_equal(restored.support(), acc.support())
+
+    def test_correlated_round_trip(self, rng, tmp_path):
+        cp = CorrelatedPerturbation(0.5, 0.5, n_classes=3, n_items=5, rng=rng)
+        acc = cp.accumulator()
+        acc.ingest_batch(
+            [cp.privatize(int(l), int(i))
+             for l, i in zip(rng.integers(0, 3, 30), rng.integers(0, 5, 30))]
+        )
+        path = tmp_path / "cp-state"
+        acc.save(path)
+        restored = SupportAccumulator.load(path)
+        assert isinstance(restored, CorrelatedAccumulator)
+        state, reference = restored.as_correlated_support(), acc.as_correlated_support()
+        np.testing.assert_array_equal(state.item_support, reference.item_support)
+        np.testing.assert_array_equal(state.label_counts, reference.label_counts)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SupportAccumulator.from_state({"kind": "nope", "n": 0})
+
+    def test_kind_mismatch_rejected(self, rng):
+        acc = CountAccumulator(4)
+        with pytest.raises(ConfigurationError):
+            BitVectorAccumulator.from_state(acc.state_dict())
+
+
+class TestValidation:
+    def test_count_rejects_foreign_domain(self):
+        acc = CountAccumulator(4)
+        with pytest.raises(AggregationError):
+            acc.ingest_batch([0, 4])
+
+    def test_bits_reject_wrong_width(self):
+        acc = BitVectorAccumulator(4)
+        with pytest.raises(AggregationError):
+            acc.ingest_batch(np.zeros((2, 5), dtype=np.uint8))
+
+    def test_hadamard_rejects_bad_sign(self):
+        acc = HadamardAccumulator(4, K=8)
+        with pytest.raises(AggregationError):
+            acc.ingest_batch([(0, 2)])
+        with pytest.raises(AggregationError):
+            acc.ingest_batch([(8, 1)])
+
+    def test_olh_rejects_bad_report(self):
+        acc = LocalHashAccumulator(4, g=3)
+        with pytest.raises(AggregationError):
+            acc.ingest_batch([(1, 2, 3)])
+
+    def test_flag_filtered_matches_flag_semantics(self):
+        acc = FlagFilteredAccumulator(3)
+        acc.ingest_batch(
+            np.asarray([[1, 0, 1, 0], [1, 1, 1, 1]], dtype=np.uint8)
+        )
+        # Second report raises the flag: its item bits must not count.
+        np.testing.assert_array_equal(acc.support(), [1, 0, 1, 1])
+
+    def test_empty_batch_is_noop(self):
+        acc = CountAccumulator(4)
+        assert acc.ingest_batch([]) == 0
+        assert acc.n == 0
+
+    def test_factory_rejects_unknown_mechanism(self):
+        with pytest.raises(ConfigurationError):
+            accumulator_for(object())
+
+
+class TestFactory:
+    def test_adaptive_unwraps_to_inner(self, rng):
+        small = AdaptiveMechanism(1.0, 4, rng=rng)
+        large = AdaptiveMechanism(1.0, 4096, rng=rng)
+        assert isinstance(accumulator_for(small), CountAccumulator)
+        assert isinstance(accumulator_for(large), BitVectorAccumulator)
+
+    def test_rappor_width_is_bloom_bits(self, rng):
+        mech = Rappor(1.0, D, rng=rng)
+        acc = accumulator_for(mech)
+        assert isinstance(acc, BitVectorAccumulator)
+        assert acc.width == mech.n_bits

@@ -58,6 +58,49 @@ class TestCLI:
         assert main(["table2", "--seed", "9"]) == 0
         assert "Table II" in capsys.readouterr().out
 
+    def test_list_mentions_stream(self, capsys):
+        assert main(["--list"]) == 0
+        assert "stream" in capsys.readouterr().out
+
+    def test_stream_subcommand(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_stream.json"
+        monkeypatch.setenv("REPRO_BENCH_STREAM_ARTIFACT", str(artifact))
+        assert (
+            main(
+                ["stream", "--users", "20000", "--batch-size", "4096", "--shards", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reports/sec" in out
+        assert (tmp_path / "stream.txt").exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["total_reports"] == 4 * 20000
+        assert payload["n_shards"] == 2
+        assert set(payload["frameworks"]) == {"hec", "ptj", "pts", "pts-cp"}
+        for stats in payload["frameworks"].values():
+            assert stats["reports_per_sec"] > 0
+
+    def test_stream_flags_rejected_for_other_experiments(self, capsys):
+        assert main(["table1", "--users", "1000"]) == 2
+        assert "--users" in capsys.readouterr().err
+
+    def test_stream_honors_scale_env(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_stream.json"
+        monkeypatch.setenv("REPRO_BENCH_STREAM_ARTIFACT", str(artifact))
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "full")
+        # --users/--batch-size keep the run tiny; the scale must still
+        # come from the environment like every other experiment.
+        assert main(["stream", "--users", "1000", "--batch-size", "500"]) == 0
+        payload = json.loads(artifact.read_text())
+        assert payload["scale"] == "full"
+
 
 class TestComplexityModel:
     def test_rows_cover_table2(self):
