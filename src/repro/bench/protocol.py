@@ -1,0 +1,175 @@
+"""Protocol-mode throughput benchmark.
+
+Runs every framework end to end in ``"protocol"`` execution mode — the
+literal one-report-per-user wire protocol, privatised and aggregated
+through the vectorised report-plane engine — over a synthetic population
+and measures sustained users/sec.  A per-user *looped baseline* (the same
+protocol session fed one user per ingest call, i.e. the pre-engine
+per-user Python dispatch) is timed on a small sample and extrapolated, so
+the report carries an explicit engine-vs-loop speedup column.
+
+Besides the text table the run emits a machine-readable
+``BENCH_protocol.json`` (repo root by default; override with
+``REPRO_BENCH_PROTOCOL_ARTIFACT``), the protocol-plane counterpart of
+``BENCH_stream.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..core.frameworks import make_framework
+from ..datasets import LabelItemDataset
+from ..exceptions import ConfigurationError
+from ..metrics import rmse
+from ..rng import ensure_rng
+from ..stream import make_session
+from .reporting import artifact_path, format_table
+
+#: Workload parameters per scale.
+SCALES = {
+    "quick": dict(n_users=100_000, n_classes=5, n_items=64),
+    "full": dict(n_users=1_000_000, n_classes=5, n_items=256),
+}
+
+#: Frameworks benchmarked, in report order.
+PROTOCOL_FRAMEWORKS: tuple[str, ...] = ("hec", "ptj", "pts", "pts-cp")
+
+#: Users timed per-user for the looped baseline extrapolation.
+BASELINE_SAMPLE = 2_000
+
+
+def _artifact_path() -> Path:
+    return artifact_path("REPRO_BENCH_PROTOCOL_ARTIFACT", "BENCH_protocol.json")
+
+
+def _looped_rate(
+    name: str,
+    labels: np.ndarray,
+    items: np.ndarray,
+    epsilon: float,
+    n_classes: int,
+    n_items: int,
+    seed: int,
+) -> float:
+    """Users/sec of the per-user dispatch baseline on a small sample.
+
+    Feeds the same protocol-mode session one user per ``ingest_batch``
+    call — each report privatised and folded individually, the per-user
+    Python dispatch the batch engine eliminates.
+    """
+    sample = min(BASELINE_SAMPLE, labels.size)
+    session = make_session(
+        name,
+        epsilon=epsilon,
+        n_classes=n_classes,
+        n_items=n_items,
+        mode="protocol",
+        rng=np.random.default_rng(seed),
+    )
+    start = time.perf_counter()
+    for user in range(sample):
+        session.ingest_batch(labels[user : user + 1], items[user : user + 1])
+    elapsed = time.perf_counter() - start
+    return sample / elapsed if elapsed > 0 else float("inf")
+
+
+def run_protocol_benchmark(
+    scale: str = "quick",
+    seed: int = 0,
+    n_users: Optional[int] = None,
+    epsilon: float = 1.0,
+    frameworks: Sequence[str] = PROTOCOL_FRAMEWORKS,
+    artifact: Optional[str] = None,
+) -> tuple[str, dict]:
+    """Run the protocol-mode benchmark; returns ``(report, payload)``."""
+    if scale not in SCALES:
+        raise ConfigurationError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
+    params = dict(SCALES[scale])
+    if n_users is not None:
+        params["n_users"] = int(n_users)
+    n, c, d = params["n_users"], params["n_classes"], params["n_items"]
+    if n < 1:
+        raise ConfigurationError("n_users must be positive")
+
+    rng = ensure_rng(seed)
+    ranks = np.arange(1, d + 1, dtype=np.float64)
+    item_probs = ranks**-1.05
+    item_probs /= item_probs.sum()
+    class_probs = rng.dirichlet(np.full(c, 5.0))
+    labels = rng.choice(c, size=n, p=class_probs)
+    items = rng.choice(d, size=n, p=item_probs)
+    dataset = LabelItemDataset(labels=labels, items=items, n_classes=c, n_items=d)
+    truth = dataset.pair_counts()
+
+    rows = []
+    per_framework: dict[str, dict] = {}
+    for name in frameworks:
+        framework = make_framework(
+            name,
+            epsilon=epsilon,
+            n_classes=c,
+            n_items=d,
+            mode="protocol",
+            rng=np.random.default_rng(seed + 1),
+        )
+        start = time.perf_counter()
+        estimate = framework.estimate_frequencies(dataset)
+        elapsed = time.perf_counter() - start
+        users_per_sec = n / elapsed if elapsed > 0 else float("inf")
+        error = float(rmse(estimate, truth))
+        baseline = _looped_rate(name, labels, items, epsilon, c, d, seed + 2)
+        speedup = users_per_sec / baseline if baseline > 0 else float("inf")
+        rows.append(
+            [
+                name,
+                n,
+                f"{elapsed:.2f}",
+                f"{users_per_sec:,.0f}",
+                f"{baseline:,.0f}",
+                f"{speedup:.1f}x",
+                round(error, 1),
+            ]
+        )
+        per_framework[name] = {
+            "n_users": n,
+            "elapsed_sec": elapsed,
+            "users_per_sec": users_per_sec,
+            "baseline_users_per_sec": baseline,
+            "speedup_vs_looped": speedup,
+            "rmse": error,
+        }
+
+    payload = {
+        "scale": scale,
+        "seed": seed,
+        "epsilon": epsilon,
+        "n_users": n,
+        "n_classes": c,
+        "n_items": d,
+        "baseline_sample": min(BASELINE_SAMPLE, n),
+        "frameworks": per_framework,
+    }
+    artifact_path = Path(artifact) if artifact is not None else _artifact_path()
+    try:
+        artifact_path.write_text(json.dumps(payload, indent=2) + "\n")
+        artifact_note = f"artifact: {artifact_path}"
+    except OSError as error:
+        artifact_note = f"artifact not written ({error})"
+
+    report = format_table(
+        f"Protocol-mode throughput (scale={scale}, c={c}, d={d}, eps={epsilon})",
+        ["framework", "users", "sec", "users/sec", "looped/sec", "speedup", "RMSE"],
+        rows,
+        note=(
+            "one report per user through the vectorised report-plane engine; "
+            f"looped baseline timed on {min(BASELINE_SAMPLE, n):,} users; "
+            f"{artifact_note}"
+        ),
+    )
+    return report, payload

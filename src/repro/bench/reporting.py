@@ -44,6 +44,23 @@ def _fmt(value: object) -> str:
     return str(value)
 
 
+def artifact_path(env_var: str, filename: str) -> Path:
+    """Where a machine-readable bench artifact is written.
+
+    The ``env_var`` override wins; otherwise a src-layout checkout gets
+    the repo-root path (installed packages would resolve into the
+    interpreter's lib directory, so fall back to the working directory
+    there).  Shared by the stream and protocol throughput benches.
+    """
+    override = os.environ.get(env_var)
+    if override:
+        return Path(override)
+    root = Path(__file__).resolve().parents[3]
+    if (root / "src" / "repro").is_dir():
+        return root / filename
+    return Path.cwd() / filename
+
+
 def results_dir() -> Path:
     """Directory where bench outputs are persisted.
 

@@ -17,7 +17,6 @@ throughput trajectory.
 from __future__ import annotations
 
 import json
-import os
 import resource
 import sys
 import time
@@ -30,7 +29,7 @@ from ..exceptions import ConfigurationError
 from ..metrics import rmse
 from ..rng import ensure_rng, spawn
 from ..stream import ShardedAggregator, default_shard_count, make_session
-from .reporting import format_table
+from .reporting import artifact_path, format_table
 
 #: Workload parameters per scale.
 SCALES = {
@@ -43,16 +42,7 @@ STREAM_FRAMEWORKS: tuple[str, ...] = ("hec", "ptj", "pts", "pts-cp")
 
 
 def _artifact_path() -> Path:
-    override = os.environ.get("REPRO_BENCH_STREAM_ARTIFACT")
-    if override:
-        return Path(override)
-    root = Path(__file__).resolve().parents[3]
-    # Only a src-layout checkout gets the repo-root artifact; installed
-    # packages would resolve into the interpreter's lib directory, so
-    # fall back to the working directory there.
-    if (root / "src" / "repro").is_dir():
-        return root / "BENCH_stream.json"
-    return Path.cwd() / "BENCH_stream.json"
+    return artifact_path("REPRO_BENCH_STREAM_ARTIFACT", "BENCH_stream.json")
 
 
 def _peak_rss_mb() -> float:
@@ -90,6 +80,7 @@ def run_stream_benchmark(
     epsilon: float = 1.0,
     frameworks: Sequence[str] = STREAM_FRAMEWORKS,
     mode: str = "simulate",
+    executor: str = "thread",
     artifact: Optional[str] = None,
 ) -> tuple[str, dict]:
     """Run the ingestion benchmark; returns ``(report, artifact_payload)``.
@@ -136,7 +127,7 @@ def run_stream_benchmark(
             for child in spawn(rng, shards)
         ]
         start_time = time.perf_counter()
-        with ShardedAggregator(sessions) as aggregator:
+        with ShardedAggregator(sessions, executor=executor) as aggregator:
             for item in batches:
                 aggregator.submit(item)
             aggregator.drain()
@@ -173,6 +164,7 @@ def run_stream_benchmark(
         "n_items": d,
         "batch_size": batch,
         "n_shards": shards,
+        "executor": executor,
         "total_reports": total_reports,
         "peak_rss_mb": peak_rss_mb,
         "frameworks": per_framework,
@@ -186,7 +178,7 @@ def run_stream_benchmark(
 
     report = format_table(
         f"Streaming ingestion throughput (scale={scale}, c={c}, d={d}, "
-        f"eps={epsilon}, shards={shards}, batch={batch})",
+        f"eps={epsilon}, shards={shards}, batch={batch}, executor={executor})",
         ["framework", "reports", "batches", "sec", "reports/sec", "RMSE"],
         rows,
         note=(

@@ -1,5 +1,5 @@
 """Command-line entry point: regenerate the paper's tables and figures,
-and run the streaming ingestion benchmark.
+and run the streaming / protocol throughput benchmarks.
 
 Examples::
 
@@ -7,7 +7,8 @@ Examples::
     repro-bench fig7
     repro-bench table3 --scale full --seed 7
     repro-bench all
-    repro-bench stream --scale quick --shards 4
+    repro-bench stream --scale quick --shards 4 --executor process
+    repro-bench protocol --quick
     python -m repro fig6           # equivalent module form
 """
 
@@ -19,6 +20,9 @@ from typing import Optional, Sequence
 
 from .bench.experiments import EXPERIMENTS, run_experiment
 from .bench.reporting import bench_scale, emit
+
+#: Benchmark pseudo-experiments with their own option groups.
+BENCHES = ("stream", "protocol")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,8 +37,9 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         nargs="?",
         help=(
-            f"experiment id ({', '.join(sorted(EXPERIMENTS))}), 'all', or "
-            "'stream' (streaming ingestion benchmark)"
+            f"experiment id ({', '.join(sorted(EXPERIMENTS))}), 'all', "
+            "'stream' (streaming ingestion benchmark), or 'protocol' "
+            "(protocol-mode throughput benchmark)"
         ),
     )
     parser.add_argument(
@@ -43,9 +48,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="workload scale (default: REPRO_BENCH_SCALE or 'quick')",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_const",
+        const="quick",
+        dest="scale",
+        help="shorthand for --scale quick",
+    )
     parser.add_argument("--seed", type=int, default=0, help="base random seed")
     parser.add_argument(
         "--list", action="store_true", help="list available experiments and exit"
+    )
+    bench = parser.add_argument_group("stream/protocol benchmark options")
+    bench.add_argument(
+        "--users", type=int, default=None, help="population override (reports/users)"
     )
     stream = parser.add_argument_group("stream benchmark options")
     stream.add_argument(
@@ -58,7 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-size", type=int, default=None, help="reports per ingested batch"
     )
     stream.add_argument(
-        "--users", type=int, default=None, help="stream length override (reports)"
+        "--executor",
+        choices=("thread", "process"),
+        default=None,
+        help="shard executor: per-shard threads (default) or a process pool",
     )
     return parser
 
@@ -71,23 +90,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
             print(f"  {name:8s} {doc}")
         print("  stream   Streaming ingestion throughput benchmark (reports/sec).")
+        print("  protocol Protocol-mode throughput benchmark (users/sec).")
         return 0
-    if args.experiment != "stream":
-        set_flags = [
-            flag
-            for flag, value in (
-                ("--shards", args.shards),
-                ("--batch-size", args.batch_size),
-                ("--users", args.users),
-            )
-            if value is not None
-        ]
-        if set_flags:
-            print(
-                f"{', '.join(set_flags)} only apply to the 'stream' benchmark",
-                file=sys.stderr,
-            )
-            return 2
+    flag_scopes = (
+        ("--shards", args.shards, ("stream",)),
+        ("--batch-size", args.batch_size, ("stream",)),
+        ("--executor", args.executor, ("stream",)),
+        ("--users", args.users, BENCHES),
+    )
+    bad_flags = [
+        flag
+        for flag, value, scopes in flag_scopes
+        if value is not None and args.experiment not in scopes
+    ]
+    if bad_flags:
+        print(
+            f"{', '.join(bad_flags)} do not apply to {args.experiment!r} "
+            "(benchmark-only options)",
+            file=sys.stderr,
+        )
+        return 2
     if args.experiment == "stream":
         from .bench.stream import run_stream_benchmark
 
@@ -97,8 +119,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_users=args.users,
             n_shards=args.shards,
             batch_size=args.batch_size,
+            executor=args.executor or "thread",
         )
         emit("stream", report)
+        return 0
+    if args.experiment == "protocol":
+        from .bench.protocol import run_protocol_benchmark
+
+        report, _payload = run_protocol_benchmark(
+            scale=args.scale or bench_scale(),
+            seed=args.seed,
+            n_users=args.users,
+        )
+        emit("protocol", report)
         return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:

@@ -13,9 +13,12 @@ Every framework supports two execution modes:
     (see :mod:`repro.mechanisms.base`).  Scales to millions of users.
 
 ``"protocol"``
-    The literal wire protocol: one report per user through
-    ``privatize``/``aggregate``.  Slower; used by tests and small demos
-    to validate the simulate path.
+    The literal wire protocol: one report per user, privatised and
+    aggregated in vectorised batches through the report-plane engine
+    (:mod:`repro.mechanisms.engine`).  One-shot protocol runs are simply
+    a stream of one batch: the framework routes the dataset through its
+    :class:`~repro.stream.session.OnlineFrameworkSession`, so the
+    one-shot and streaming paths share a single ingest/estimate core.
 """
 
 from __future__ import annotations
@@ -116,11 +119,32 @@ class MulticlassFramework(abc.ABC):
     ) -> np.ndarray:
         """Sufficient-statistic path."""
 
-    @abc.abstractmethod
     def _estimate_protocol(
         self, dataset: LabelItemDataset, rng: np.random.Generator
     ) -> np.ndarray:
-        """Per-user report path."""
+        """Per-user report path: the dataset as a stream of one batch.
+
+        Delegates to the framework's online session, whose protocol-mode
+        ingest privatises and aggregates through the vectorised report
+        plane — there is exactly one protocol implementation per
+        framework, shared by one-shot and streaming execution.  (For HEC
+        this assigns users to class groups iid-uniformly, the streaming
+        law; the calibration divides by realised group sizes, so the
+        estimates stay unbiased.)
+        """
+        from ...stream.session import make_session
+
+        session = make_session(
+            self.name,
+            epsilon=self.epsilon,
+            n_classes=self.n_classes,
+            n_items=self.n_items,
+            mode="protocol",
+            rng=rng,
+            label_fraction=getattr(self, "label_fraction", None),
+        )
+        session.ingest_batch(dataset.labels, dataset.items)
+        return session.estimate()
 
     # ------------------------------------------------------------------
     # helpers

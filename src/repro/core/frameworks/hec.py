@@ -110,33 +110,3 @@ class HECFramework(MulticlassFramework):
         self, valid_counts: np.ndarray, n_invalid: int, rng: np.random.Generator
     ) -> np.ndarray:
         return simulate_hec_group_support(self._oracle, valid_counts, n_invalid, rng)
-
-    # ------------------------------------------------------------------
-    # protocol path
-    # ------------------------------------------------------------------
-    def _estimate_protocol(
-        self, dataset: LabelItemDataset, rng: np.random.Generator
-    ) -> np.ndarray:
-        order = rng.permutation(dataset.n_users)
-        sizes = self._group_sizes(dataset.n_users)
-        oracle = make_adaptive(self.epsilon, self.n_items, rng=rng)
-        support = np.empty((self.n_classes, self.n_items), dtype=np.int64)
-        start = 0
-        for g in range(self.n_classes):
-            index = order[start : start + sizes[g]]
-            start += sizes[g]
-            reports = []
-            for user in index:
-                if int(dataset.labels[user]) == g:
-                    value = int(dataset.items[user])
-                else:
-                    value = int(rng.integers(0, self.n_items))
-                reports.append(oracle.privatize(value))
-            support[g] = oracle.aggregate(reports)
-        return calibrate_hec(
-            support,
-            np.asarray(sizes, dtype=np.float64),
-            dataset.n_users,
-            oracle.p,
-            oracle.q,
-        )

@@ -58,14 +58,3 @@ class PTJFramework(MulticlassFramework):
             self._oracle.q,
             self.n_classes,
         )
-
-    def _estimate_protocol(
-        self, dataset: LabelItemDataset, rng: np.random.Generator
-    ) -> np.ndarray:
-        oracle = make_adaptive(self.epsilon, self.n_classes * self.n_items, rng=rng)
-        flat_values = dataset.labels * self.n_items + dataset.items
-        reports = oracle.privatize_many(flat_values)
-        support = oracle.aggregate(reports)
-        return calibrate_ptj(
-            support, dataset.n_users, oracle.p, oracle.q, self.n_classes
-        )

@@ -129,28 +129,3 @@ class PTSFramework(MulticlassFramework):
             p2,
             q2,
         )
-
-    # ------------------------------------------------------------------
-    # protocol path
-    # ------------------------------------------------------------------
-    def _estimate_protocol(
-        self, dataset: LabelItemDataset, rng: np.random.Generator
-    ) -> np.ndarray:
-        label_oracle = GeneralizedRandomResponse(self.epsilon1, self.n_classes, rng=rng)
-        item_oracle = OptimizedUnaryEncoding(self.epsilon2, self.n_items, rng=rng)
-        pair_support = np.zeros((self.n_classes, self.n_items), dtype=np.int64)
-        label_counts = np.zeros(self.n_classes, dtype=np.int64)
-        for label, item in zip(dataset.labels, dataset.items):
-            perturbed_label = label_oracle.privatize(int(label))
-            bits = item_oracle.privatize(int(item))
-            label_counts[perturbed_label] += 1
-            pair_support[perturbed_label] += bits.astype(np.int64)
-        return calibrate_pts(
-            pair_support,
-            label_counts,
-            dataset.n_users,
-            label_oracle.p,
-            label_oracle.q,
-            item_oracle.p,
-            item_oracle.q,
-        )

@@ -60,19 +60,3 @@ class PTSCPFramework(MulticlassFramework):
     ) -> np.ndarray:
         support = self._mechanism.simulate_support(dataset.pair_counts(), rng=rng)
         return self._mechanism.estimate(support)
-
-    def _estimate_protocol(
-        self, dataset: LabelItemDataset, rng: np.random.Generator
-    ) -> np.ndarray:
-        mechanism = CorrelatedPerturbation(
-            self.epsilon1,
-            self.epsilon2,
-            n_classes=self.n_classes,
-            n_items=self.n_items,
-            rng=rng,
-        )
-        reports = [
-            mechanism.privatize(int(label), int(item))
-            for label, item in zip(dataset.labels, dataset.items)
-        ]
-        return mechanism.estimate(mechanism.aggregate(reports))

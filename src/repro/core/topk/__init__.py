@@ -27,6 +27,10 @@ from .pruning import (
     prefix_prune_once,
 )
 from .reporting import (
+    EXECUTION_MODES,
+    INVALID_MODES,
+    iteration_support,
+    protocol_iteration_support,
     simulate_iteration_support,
     split_counts_over_iterations,
     top_indices,
@@ -48,6 +52,8 @@ __all__ = [
     "CandidateGenerationResult",
     "ClassMiningData",
     "ClassMiningResult",
+    "EXECUTION_MODES",
+    "INVALID_MODES",
     "MultiClassTopK",
     "OPTIMIZATIONS",
     "PEMMiner",
@@ -62,6 +68,7 @@ __all__ = [
     "extend_prefixes",
     "fig3_success_probability",
     "generate_candidates",
+    "iteration_support",
     "mine_class_topk",
     "noise_rule_use_cp",
     "pair_partition_count",
@@ -69,6 +76,7 @@ __all__ = [
     "prefix_counts",
     "prefix_of",
     "prefix_prune_once",
+    "protocol_iteration_support",
     "simulate_iteration_support",
     "split_counts_over_iterations",
     "top_indices",

@@ -20,6 +20,7 @@ from typing import Optional
 import numpy as np
 
 from ...exceptions import DomainError
+from ...mechanisms.engine import batch_support
 from ...mechanisms.grr import GeneralizedRandomResponse
 from .pruning import IterationOutcome, bucket_prune_once, prefix_prune_once
 from .reporting import split_counts_over_iterations
@@ -75,6 +76,7 @@ def generate_candidates(
     total_bits: Optional[int] = None,
     start_prefixes: Optional[np.ndarray] = None,
     start_depth: Optional[int] = None,
+    mode: str = "simulate",
 ) -> CandidateGenerationResult:
     """Run Algorithm 1 on the global phase's user population.
 
@@ -105,8 +107,12 @@ def generate_candidates(
     # Label perturbation: every phase user reports a GRR label; the server
     # inverts to unbiased class sizes (Algorithm 1 line 9).
     if n_classes > 1:
-        label_oracle = GeneralizedRandomResponse(epsilon1, n_classes)
-        label_support = label_oracle.simulate_support(labels, rng=rng)
+        label_oracle = GeneralizedRandomResponse(epsilon1, n_classes, rng=rng)
+        if mode == "protocol":
+            label_values = np.repeat(np.arange(n_classes, dtype=np.int64), labels)
+            label_support = batch_support(label_oracle, label_values)
+        else:
+            label_support = label_oracle.simulate_support(labels, rng=rng)
         class_estimates = label_oracle.estimate(label_support, n_users)
     else:
         class_estimates = labels.astype(np.float64)
@@ -127,6 +133,7 @@ def generate_candidates(
                     epsilon=epsilon2,
                     invalid_mode=invalid_mode,
                     rng=rng,
+                    mode=mode,
                 )
                 candidates = outcome.candidates
                 seeds.append(outcome.seed)
@@ -160,6 +167,7 @@ def generate_candidates(
                 epsilon=epsilon2,
                 invalid_mode=invalid_mode,
                 rng=rng,
+                mode=mode,
             )
             prefixes = outcome.candidates
             depth += 1

@@ -86,6 +86,7 @@ def mine_class_topk(
     use_buckets: bool = True,
     total_bits: Optional[int] = None,
     prefix_depth: Optional[int] = None,
+    mode: str = "simulate",
 ) -> ClassMiningResult:
     """Run Algorithm 2 for one class.
 
@@ -122,6 +123,7 @@ def mine_class_topk(
                 epsilon=epsilon2,
                 invalid_mode=invalid_mode,
                 rng=rng,
+                mode=mode,
             )
             candidates = outcome.candidates
         else:
@@ -137,6 +139,7 @@ def mine_class_topk(
                 epsilon=epsilon2,
                 invalid_mode=invalid_mode,
                 rng=rng,
+                mode=mode,
             )
             candidates = outcome.candidates
             depth += 1
@@ -169,6 +172,7 @@ def mine_class_topk(
         invalid_mode=final_mode,
         k=k,
         rng=rng,
+        mode=mode,
     )
     return ClassMiningResult(
         top_items=top_items,

@@ -32,7 +32,11 @@ from ...exceptions import ConfigurationError, DomainError
 from ...mechanisms.base import check_epsilon
 from ...rng import RngLike, ensure_rng
 from .pruning import estimate_final, prefix_prune_once
-from .reporting import INVALID_MODES, split_counts_over_iterations
+from .reporting import (
+    EXECUTION_MODES,
+    INVALID_MODES,
+    split_counts_over_iterations,
+)
 from .trie import PrefixTrie, bits_needed
 
 
@@ -76,6 +80,10 @@ class PEMMiner:
         The paper's ``m``: bits added per iteration (default 1).
     invalid_mode:
         ``"random"`` (classic PEM) or ``"vp"`` (the +VP ablation).
+    mode:
+        ``"simulate"`` (exact sufficient statistics, the default) or
+        ``"protocol"`` — every iteration consumes per-user report batches
+        through the vectorised engine instead.
     record_trie:
         Keep an explicit :class:`~repro.core.topk.trie.PrefixTrie` of the
         expansion path (used by tests and demos; costs memory).
@@ -89,6 +97,7 @@ class PEMMiner:
         keep: Optional[int] = None,
         extension_bits: int = 1,
         invalid_mode: str = "random",
+        mode: str = "simulate",
         record_trie: bool = False,
         rng: RngLike = None,
     ) -> None:
@@ -102,6 +111,11 @@ class PEMMiner:
             raise ConfigurationError(
                 f"invalid_mode must be one of {INVALID_MODES}, got {invalid_mode!r}"
             )
+        if mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
+        self.mode = mode
         self.k = int(k)
         self.epsilon = check_epsilon(epsilon)
         self.domain_size = int(domain_size)
@@ -133,10 +147,14 @@ class PEMMiner:
         n_always_invalid: int = 0,
         rng: Optional[np.random.Generator] = None,
     ) -> PEMResult:
-        """Mine the top-k from true per-item counts (exact simulation).
+        """Mine the top-k from true per-item counts.
 
-        ``n_always_invalid`` users never hold a valid item (e.g. HEC's
-        foreign-label users) and follow the invalid policy each iteration.
+        Each iteration's supports come from the configured execution
+        ``mode``: exact sufficient-statistic simulation, or per-user
+        report batches privatised and folded through the report-plane
+        engine.  ``n_always_invalid`` users never hold a valid item (e.g.
+        HEC's foreign-label users) and follow the invalid policy each
+        iteration.
         """
         rng = rng if rng is not None else self.rng
         counts = np.asarray(item_counts, dtype=np.int64).ravel()
@@ -164,6 +182,7 @@ class PEMMiner:
                 invalid_mode=self.invalid_mode,
                 rng=rng,
                 extension_bits=self.extension_bits,
+                mode=self.mode,
             )
             if trie is not None:
                 kept_now = outcome.candidates >> min(
@@ -185,6 +204,7 @@ class PEMMiner:
             invalid_mode=self.invalid_mode,
             k=self.k,
             rng=rng,
+            mode=self.mode,
         )
         if trie is not None and candidates.size:
             trie.insert_frontier(candidates, self.total_bits, support)

@@ -24,7 +24,7 @@ import numpy as np
 
 from ...exceptions import DomainError
 from ...rng import derive_seed
-from .reporting import simulate_iteration_support, top_indices
+from .reporting import iteration_support, top_indices
 from .shuffling import BucketState, assign_buckets
 from .trie import extend_prefixes, prefix_counts
 
@@ -48,13 +48,16 @@ def bucket_prune_once(
     epsilon: float,
     invalid_mode: str,
     rng: np.random.Generator,
+    mode: str = "simulate",
 ) -> IterationOutcome:
     """One shuffled-bucket pruning iteration (Algorithm 1/2 inner loop).
 
     ``cohort_item_counts`` is the full-domain ``(d,)`` count vector of this
     iteration's users; users holding items outside ``candidates`` are
     invalid, plus ``n_extra_invalid`` who are invalid a priori (foreign
-    labels under HEC, pre-invalidated items, ...).
+    labels under HEC, pre-invalidated items, ...).  ``mode`` picks the
+    execution path: exact simulation or per-user reports through the
+    batch engine.
     """
     candidates = np.asarray(candidates, dtype=np.int64)
     counts = np.asarray(cohort_item_counts, dtype=np.int64)
@@ -63,13 +66,14 @@ def bucket_prune_once(
     candidate_counts = counts[candidates]
     bucket_counts = assignment.bucket_counts(candidate_counts)
     n_invalid = int(counts.sum() - candidate_counts.sum()) + int(n_extra_invalid)
-    support = simulate_iteration_support(
+    support = iteration_support(
         valid_counts=bucket_counts,
         n_invalid=n_invalid,
         epsilon=epsilon,
         invalid_mode=invalid_mode,
         rng=rng,
         replacement_weights=assignment.bucket_sizes().astype(np.float64),
+        mode=mode,
     )
     kept = top_indices(support, min(keep, assignment.n_buckets))
     state = BucketState.from_kept(kept, assignment.n_buckets)
@@ -92,6 +96,7 @@ def prefix_prune_once(
     invalid_mode: str,
     rng: np.random.Generator,
     extension_bits: int = 1,
+    mode: str = "simulate",
 ) -> IterationOutcome:
     """One PEM prefix iteration: report at ``depth`` bits, keep ``keep``
     prefixes, extend the survivors by ``extension_bits`` (the paper's
@@ -108,12 +113,13 @@ def prefix_prune_once(
     all_prefix_counts = prefix_counts(counts, total_bits, depth)
     valid = all_prefix_counts[prefixes]
     n_invalid = int(counts.sum() - valid.sum()) + int(n_extra_invalid)
-    support = simulate_iteration_support(
+    support = iteration_support(
         valid_counts=valid,
         n_invalid=n_invalid,
         epsilon=epsilon,
         invalid_mode=invalid_mode,
         rng=rng,
+        mode=mode,
     )
     kept = top_indices(support, min(keep, prefixes.size))
     survivors = prefixes[kept]
@@ -132,6 +138,7 @@ def estimate_final(
     invalid_mode: str,
     k: int,
     rng: np.random.Generator,
+    mode: str = "simulate",
 ) -> tuple[list[int], np.ndarray]:
     """Final iteration: direct supports over the remaining candidates.
 
@@ -150,12 +157,13 @@ def estimate_final(
     counts = np.asarray(valid_item_counts, dtype=np.int64)
     candidate_counts = counts[candidates]
     n_invalid_total = int(counts.sum() - candidate_counts.sum()) + int(n_invalid)
-    support = simulate_iteration_support(
+    support = iteration_support(
         valid_counts=candidate_counts,
         n_invalid=n_invalid_total,
         epsilon=epsilon,
         invalid_mode=invalid_mode,
         rng=rng,
+        mode=mode,
     )
     kept = top_indices(support, min(k, candidates.size))
     return [int(v) for v in candidates[kept]], support

@@ -10,9 +10,12 @@ users.  Two invalid-handling policies exist:
 * ``"vp"`` — the paper's validity perturbation: invalid users raise the
   validity flag, aggregation is flag-filtered (Theorem 5).
 
-Both paths use the exact sufficient-statistic simulation; a per-user
-protocol variant exists in the mechanisms themselves and is exercised by
-the tests.
+Each policy runs in either execution mode: ``"simulate"`` draws the
+supports from their exact sufficient-statistic distribution
+(:func:`simulate_iteration_support`), ``"protocol"`` privatises one
+report per user through the vectorised report-plane engine
+(:func:`protocol_iteration_support`).  :func:`iteration_support`
+dispatches; the top-k pipelines thread an execution ``mode`` down to it.
 """
 
 from __future__ import annotations
@@ -22,11 +25,32 @@ from typing import Optional
 import numpy as np
 
 from ...exceptions import ConfigurationError, DomainError
+from ...mechanisms.engine import batch_support
 from ...mechanisms.ue import OptimizedUnaryEncoding
 from ...mechanisms.validity import ValidityPerturbation
 
 #: The two invalid-data policies.
 INVALID_MODES = ("random", "vp")
+
+#: The two execution modes (mirrors ``repro.core.frameworks.base.MODES``).
+EXECUTION_MODES = ("simulate", "protocol")
+
+
+def _replacement_probabilities(
+    size: int, replacement_weights: Optional[np.ndarray]
+) -> np.ndarray:
+    """Normalised replacement distribution for the ``"random"`` policy."""
+    if replacement_weights is None:
+        return np.full(size, 1.0 / size)
+    weights = np.asarray(replacement_weights, dtype=np.float64)
+    if weights.shape != (size,):
+        raise DomainError(
+            f"replacement_weights shape {weights.shape} != ({size},)"
+        )
+    total = weights.sum()
+    if total <= 0:
+        raise DomainError("replacement_weights must have positive mass")
+    return weights / total
 
 
 def simulate_iteration_support(
@@ -69,21 +93,88 @@ def simulate_iteration_support(
 
     # "random": replace invalid values, then OUE everyone.
     if n_invalid:
-        if replacement_weights is None:
-            weights = np.full(counts.size, 1.0 / counts.size)
-        else:
-            weights = np.asarray(replacement_weights, dtype=np.float64)
-            if weights.shape != counts.shape:
-                raise DomainError(
-                    f"replacement_weights shape {weights.shape} != {counts.shape}"
-                )
-            total = weights.sum()
-            if total <= 0:
-                raise DomainError("replacement_weights must have positive mass")
-            weights = weights / total
+        weights = _replacement_probabilities(counts.size, replacement_weights)
         counts = counts + rng.multinomial(n_invalid, weights)
     oracle = OptimizedUnaryEncoding(epsilon, counts.size)
     return oracle.simulate_support(counts, rng=rng)
+
+
+def protocol_iteration_support(
+    valid_counts: np.ndarray,
+    n_invalid: int,
+    epsilon: float,
+    invalid_mode: str,
+    rng: np.random.Generator,
+    replacement_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Support counts for one iteration via the literal wire protocol.
+
+    Same parameters and return shape as :func:`simulate_iteration_support`
+    — one report per user, privatised and aggregated in vectorised blocks
+    through the report-plane engine
+    (:func:`repro.mechanisms.engine.batch_support`).
+    """
+    counts = np.asarray(valid_counts, dtype=np.int64)
+    if counts.ndim != 1 or counts.size == 0:
+        raise DomainError(f"valid_counts must be a non-empty vector, got {counts.shape}")
+    if n_invalid < 0:
+        raise DomainError(f"n_invalid must be >= 0, got {n_invalid}")
+    if invalid_mode not in INVALID_MODES:
+        raise ConfigurationError(
+            f"invalid_mode must be one of {INVALID_MODES}, got {invalid_mode!r}"
+        )
+    values = np.repeat(np.arange(counts.size, dtype=np.int64), counts)
+    if invalid_mode == "vp":
+        if n_invalid:
+            values = np.concatenate(
+                [values, np.full(n_invalid, -1, dtype=np.int64)]
+            )
+        oracle = ValidityPerturbation(epsilon, counts.size, rng=rng)
+        return batch_support(oracle, values)[: counts.size]
+    if n_invalid:
+        weights = _replacement_probabilities(counts.size, replacement_weights)
+        replacements = rng.choice(counts.size, size=n_invalid, p=weights)
+        values = np.concatenate([values, replacements.astype(np.int64)])
+    oracle = OptimizedUnaryEncoding(epsilon, counts.size, rng=rng)
+    return batch_support(oracle, values)
+
+
+def iteration_support(
+    valid_counts: np.ndarray,
+    n_invalid: int,
+    epsilon: float,
+    invalid_mode: str,
+    rng: np.random.Generator,
+    replacement_weights: Optional[np.ndarray] = None,
+    mode: str = "simulate",
+) -> np.ndarray:
+    """One iteration's supports under the chosen execution ``mode``.
+
+    Dispatches to :func:`simulate_iteration_support` (exact sufficient
+    statistics) or :func:`protocol_iteration_support` (per-user reports
+    through the batch engine); the two agree in distribution.
+    """
+    if mode not in EXECUTION_MODES:
+        raise ConfigurationError(
+            f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+        )
+    if mode == "protocol":
+        return protocol_iteration_support(
+            valid_counts,
+            n_invalid,
+            epsilon,
+            invalid_mode,
+            rng,
+            replacement_weights=replacement_weights,
+        )
+    return simulate_iteration_support(
+        valid_counts,
+        n_invalid,
+        epsilon,
+        invalid_mode,
+        rng,
+        replacement_weights=replacement_weights,
+    )
 
 
 def split_counts_over_iterations(

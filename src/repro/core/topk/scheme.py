@@ -46,7 +46,8 @@ from .pruning import (
     prefix_prune_once,
 )
 from .reporting import (
-    simulate_iteration_support,
+    EXECUTION_MODES,
+    iteration_support,
     split_counts_over_iterations,
     top_indices,
 )
@@ -80,6 +81,10 @@ class MultiClassTopK:
         Noise-rule threshold of Algorithm 2 (paper default 2).
     label_fraction:
         ε₁/ε for the PTS label perturbation (paper default 0.5).
+    mode:
+        Execution mode threaded into every iteration: ``"simulate"``
+        (exact sufficient statistics, default) or ``"protocol"``
+        (per-user report batches through the vectorised engine).
     """
 
     def __init__(
@@ -93,6 +98,7 @@ class MultiClassTopK:
         a: float = 0.2,
         b: float = 2.0,
         label_fraction: float = 0.5,
+        mode: str = "simulate",
         rng: RngLike = None,
     ) -> None:
         if framework not in TOPK_FRAMEWORKS:
@@ -124,6 +130,11 @@ class MultiClassTopK:
                 "the 'cp' and 'global' optimizations require the pts "
                 "framework (they rely on label routing)"
             )
+        if mode not in EXECUTION_MODES:
+            raise ConfigurationError(
+                f"mode must be one of {EXECUTION_MODES}, got {mode!r}"
+            )
+        self.mode = mode
         self.a = float(a)
         self.b = float(b)
         self.label_fraction = float(label_fraction)
@@ -267,6 +278,7 @@ class MultiClassTopK:
                     epsilon=self.epsilon2,
                     invalid_mode=self.invalid_mode,
                     rng=rng,
+                    mode=self.mode,
                 )
                 candidates = outcome.candidates
             top, _support = estimate_final(
@@ -277,6 +289,7 @@ class MultiClassTopK:
                 invalid_mode=self.invalid_mode,
                 k=k,
                 rng=rng,
+                mode=self.mode,
             )
             return top
         from .pem import PEMMiner
@@ -286,6 +299,7 @@ class MultiClassTopK:
             epsilon=self.epsilon2,
             domain_size=d,
             invalid_mode=self.invalid_mode,
+            mode=self.mode,
             rng=rng,
         )
         return miner.mine_counts(valid_counts, n_always_invalid=n_always_invalid, rng=rng).top_items
@@ -332,13 +346,14 @@ class MultiClassTopK:
                 break
             joint = np.concatenate(joint_counts)
             n_invalid = int(cohort.sum() - joint.sum())
-            support = simulate_iteration_support(
+            support = iteration_support(
                 valid_counts=joint,
                 n_invalid=n_invalid,
                 epsilon=self.epsilon,
                 invalid_mode=self.invalid_mode,
                 rng=rng,
                 replacement_weights=self._joint_bucket_weights(assignments),
+                mode=self.mode,
             )
             kept = set(top_indices(support, min(2 * k * c, joint.size)).tolist())
             for label in range(c):
@@ -370,12 +385,13 @@ class MultiClassTopK:
             return result
         joint = np.concatenate(joint_counts)
         n_invalid = int(final.sum() - joint.sum())
-        support = simulate_iteration_support(
+        support = iteration_support(
             valid_counts=joint,
             n_invalid=n_invalid,
             epsilon=self.epsilon,
             invalid_mode=self.invalid_mode,
             rng=rng,
+            mode=self.mode,
         )
         for label in range(c):
             cand = class_candidates[label]
@@ -428,6 +444,7 @@ class MultiClassTopK:
                 epsilon=self.epsilon,
                 invalid_mode=self.invalid_mode,
                 rng=rng,
+                mode=self.mode,
             )
             prefixes = outcome.candidates
             depth += 1
@@ -440,12 +457,13 @@ class MultiClassTopK:
         final = cohorts[-1]
         candidate_counts = final[valid_codes]
         n_invalid = int(final.sum() - candidate_counts.sum())
-        support = simulate_iteration_support(
+        support = iteration_support(
             valid_counts=candidate_counts,
             n_invalid=n_invalid,
             epsilon=self.epsilon,
             invalid_mode=self.invalid_mode,
             rng=rng,
+            mode=self.mode,
         )
         code_labels = valid_codes >> item_bits
         for label in range(c):
@@ -509,6 +527,7 @@ class MultiClassTopK:
                     else np.arange(1 << start_bits, dtype=np.int64)
                 ),
                 start_depth=None if self.use_shuffle else start_bits,
+                mode=self.mode,
             )
             candidates = generation.candidates
             prefix_depth = generation.prefix_depth
@@ -546,6 +565,7 @@ class MultiClassTopK:
                 use_buckets=self.use_shuffle,
                 total_bits=None if self.use_shuffle else total_bits,
                 prefix_depth=prefix_depth,
+                mode=self.mode,
             )
             result[label] = mined.top_items
         return result

@@ -15,12 +15,25 @@ compares against, from scratch:
   validity-flag mechanism (Section IV-A).
 * :class:`~repro.mechanisms.correlated.CorrelatedPerturbation` — the
   paper's correlated label-item mechanism (Section IV-B).
+
+Every oracle exposes the columnar batch API of the unified report plane:
+``privatize_many`` (vectorised, plain-ndarray reports) and
+``aggregate_batch`` (one-pass fold built on
+:mod:`~repro.mechanisms.kernels`).  The batch execution engine
+(:mod:`~repro.mechanisms.engine`) chains the two in bounded blocks and is
+the single protocol-mode primitive used by frameworks, streaming sessions
+and the top-k miners.
 """
 
 from .adaptive import AdaptiveMechanism, grr_beats_oue, make_adaptive
 from .base import FrequencyOracle, calibrate_counts, pure_protocol_variance
 from .budget import PrivacyBudget, split_budget
-from .correlated import CorrelatedPerturbation, CorrelatedSupport
+from .correlated import (
+    CorrelatedPerturbation,
+    CorrelatedSupport,
+    fold_correlated_batch,
+)
+from .engine import batch_spans, batch_support, grouped_batch_support
 from .grr import GeneralizedRandomResponse, grr_probabilities
 from .hadamard import HadamardResponse
 from .olh import OptimalLocalHashing
@@ -39,6 +52,10 @@ __all__ = [
     "CorrelatedPerturbation",
     "CorrelatedSupport",
     "FrequencyOracle",
+    "batch_spans",
+    "batch_support",
+    "fold_correlated_batch",
+    "grouped_batch_support",
     "GeneralizedRandomResponse",
     "HadamardResponse",
     "OptimalLocalHashing",

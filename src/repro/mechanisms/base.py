@@ -8,8 +8,15 @@ unbiased frequency estimates.
 Every oracle in :mod:`repro.mechanisms` implements two equivalent paths:
 
 ``privatize`` / ``aggregate``
-    The literal protocol — one report per user.  Used by the examples, the
-    tests, and anywhere fidelity to the wire protocol matters.
+    The literal protocol — one report per user.  Both sides are columnar
+    under the hood: ``privatize_many`` perturbs a whole batch of values
+    into a plain ndarray of reports in one vectorised pass, and
+    ``aggregate`` is a thin wrapper over ``aggregate_batch``, the
+    vectorised fold shared with the streaming accumulators
+    (:mod:`repro.stream.accumulators`) through the kernels in
+    :mod:`repro.mechanisms.kernels`.  The batch execution engine
+    (:mod:`repro.mechanisms.engine`) chains the two blockwise so no hot
+    path ever dispatches per user in Python.
 
 ``simulate_support``
     An exact sufficient-statistic shortcut: the aggregated support counts
@@ -101,8 +108,22 @@ class FrequencyOracle(abc.ABC):
     # server side
     # ------------------------------------------------------------------
     @abc.abstractmethod
+    def aggregate_batch(self, reports) -> np.ndarray:
+        """Fold a columnar batch of reports into support counts.
+
+        ``reports`` is whatever :meth:`privatize_many` returns (a plain
+        ndarray in every subclass) or any sequence of single-report
+        values; the fold is one vectorised pass with no per-report Python
+        loop.  Shape of the result matches :meth:`aggregate`.
+        """
+
     def aggregate(self, reports: Iterable[Report]) -> np.ndarray:
-        """Fold reports into per-value support counts (shape ``(d,)``)."""
+        """Fold reports into per-value support counts (shape ``(d,)``).
+
+        Thin wrapper over :meth:`aggregate_batch` — the two are the same
+        vectorised kernel.
+        """
+        return self.aggregate_batch(reports)
 
     @abc.abstractmethod
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
@@ -112,10 +133,43 @@ class FrequencyOracle(abc.ABC):
         relative frequencies.
         """
 
-    def estimate_from_reports(self, reports: Iterable[Report]) -> np.ndarray:
-        """Convenience: aggregate then estimate."""
-        reports = list(reports)
-        return self.estimate(self.aggregate(reports), len(reports))
+    def estimate_from_reports(
+        self, reports: Iterable[Report], chunk_size: int = 8192
+    ) -> np.ndarray:
+        """Convenience: aggregate then estimate.
+
+        Streams the iterable through :meth:`aggregate_batch` in
+        ``chunk_size`` slices, counting users as it folds — the report
+        set is never materialised in full.
+        """
+        support, n = self._aggregate_counting(reports, chunk_size)
+        return self.estimate(support, n)
+
+    def _aggregate_counting(self, reports, chunk_size: int):
+        """Fold reports chunk-wise, returning ``(support, n_reports)``."""
+        if isinstance(reports, np.ndarray):
+            return self.aggregate_batch(reports), self._batch_size(reports)
+        support = None
+        n = 0
+        buffer: list = []
+        for report in reports:
+            buffer.append(report)
+            if len(buffer) >= chunk_size:
+                block = self.aggregate_batch(buffer)
+                support = block if support is None else support + block
+                n += len(buffer)
+                buffer = []
+        if buffer or support is None:
+            block = self.aggregate_batch(buffer)
+            support = block if support is None else support + block
+            n += len(buffer)
+        return support, n
+
+    def _batch_size(self, reports: np.ndarray) -> int:
+        """Number of reports in an ndarray batch (1-D array = one report;
+        scalar-report oracles override)."""
+        arr = np.asarray(reports)
+        return 1 if arr.ndim == 1 and arr.size else int(arr.shape[0])
 
     def accumulator(self):
         """Fresh mergeable streaming accumulator for this oracle's reports.

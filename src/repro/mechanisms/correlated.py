@@ -39,7 +39,62 @@ from ..rng import RngLike, ensure_rng
 from ..types import INVALID_ITEM
 from .base import check_domain_size, check_epsilon
 from .grr import GeneralizedRandomResponse, grr_probabilities
+from .kernels import as_report_matrix, perturb_onehot_batch
 from .validity import ValidityPerturbation
+
+
+def fold_correlated_batch(
+    labels: np.ndarray,
+    bits: np.ndarray,
+    item_support: np.ndarray,
+    flag_support: np.ndarray,
+    label_counts: np.ndarray,
+) -> None:
+    """Flag-filtered fold of ``(label, bits)`` reports into the three
+    correlated sufficient-statistic arrays, in place.
+
+    The single vectorised statement of the server-side law (paper
+    Section IV-B): item bits count only under a clear perturbed flag.
+    Shared by :meth:`CorrelatedPerturbation.aggregate_batch`, the
+    streaming accumulator
+    (:class:`repro.stream.accumulators.CorrelatedAccumulator`) and the
+    streaming PTS-CP session, so the fold cannot drift between them.
+    """
+    d = item_support.shape[1]
+    flag = bits[:, d].astype(bool)
+    label_counts += np.bincount(labels, minlength=label_counts.size)
+    flag_support += np.bincount(labels[flag], minlength=flag_support.size)
+    np.add.at(item_support, labels[~flag], bits[~flag, :d].astype(np.int64))
+
+
+def as_correlated_columns(reports, n_items: int) -> tuple[np.ndarray, np.ndarray]:
+    """Normalise CP reports into aligned ``(labels, bits)`` columns.
+
+    Accepts the columnar form (a 2-tuple of a label array and a
+    ``(batch, d + 1)`` bit matrix) or any iterable of per-user
+    ``(label, bits)`` pairs.
+    """
+    if isinstance(reports, tuple) and len(reports) == 2:
+        labels = np.asarray(reports[0], dtype=np.int64).ravel()
+        bits = as_report_matrix(reports[1], n_items + 1, "correlated")
+    else:
+        reports = list(reports)
+        if not reports:
+            return (
+                np.zeros(0, dtype=np.int64),
+                np.zeros((0, n_items + 1), dtype=np.int64),
+            )
+        labels = np.asarray([label for label, _ in reports], dtype=np.int64)
+        bits = as_report_matrix(
+            np.asarray([np.asarray(b) for _, b in reports]),
+            n_items + 1,
+            "correlated",
+        )
+    if labels.size != bits.shape[0]:
+        raise AggregationError(
+            f"labels ({labels.size}) and bits ({bits.shape[0]}) must align"
+        )
+    return labels, bits
 
 
 @dataclass
@@ -141,30 +196,65 @@ class CorrelatedPerturbation:
         bits = self._item_mech.privatize(item if item_is_valid else INVALID_ITEM)
         return (perturbed_label, bits)
 
+    def privatize_many(
+        self, labels: np.ndarray, items: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Perturb a batch of label-item pairs into columnar reports.
+
+        Returns ``(perturbed_labels, bits)`` — an int64 label array and a
+        ``(batch, d + 1)`` uint8 bit matrix — computed in one vectorised
+        pass: GRR on the labels, then the shared one-hot kernel with the
+        set bit at the item for label survivors and at the flag for
+        everyone else (including pre-invalidated items, marked by any
+        negative value).
+        """
+        labels = np.asarray(labels, dtype=np.int64).ravel()
+        items = np.asarray(items, dtype=np.int64).ravel()
+        if labels.shape != items.shape:
+            raise DomainError(
+                f"labels ({labels.shape}) and items ({items.shape}) must align"
+            )
+        if labels.size and (labels.min() < 0 or labels.max() >= self.n_classes):
+            raise DomainError(f"labels outside [0, {self.n_classes})")
+        if items.size and items.max() >= self.n_items:
+            raise DomainError(f"items outside [0, {self.n_items})")
+        perturbed = self._label_mech.privatize_many(labels)
+        valid = (items >= 0) & (perturbed == labels)
+        positions = np.where(valid, items, self._item_mech.flag_position)
+        bits = perturb_onehot_batch(
+            positions, self.n_items + 1, self.p2, self.q2, self.rng
+        )
+        return perturbed, bits
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[tuple[int, np.ndarray]]) -> CorrelatedSupport:
-        """Fold ``(perturbed_label, bits)`` reports into sufficient stats."""
+    def aggregate_batch(self, reports) -> CorrelatedSupport:
+        """Fold a batch of reports into sufficient stats in one pass.
+
+        Accepts the columnar ``(labels, bits)`` form produced by
+        :meth:`privatize_many` or an iterable of per-user pairs; the fold
+        is :func:`fold_correlated_batch`.
+        """
         c, d = self.n_classes, self.n_items
+        labels, bits = as_correlated_columns(reports, d)
+        if labels.size and (labels.min() < 0 or labels.max() >= c):
+            raise AggregationError(f"label outside [0, {c})")
         item_support = np.zeros((c, d), dtype=np.int64)
         flag_support = np.zeros(c, dtype=np.int64)
         label_counts = np.zeros(c, dtype=np.int64)
-        n_users = 0
-        flag = self._item_mech.flag_position
-        for perturbed_label, bits in reports:
-            if not 0 <= perturbed_label < c:
-                raise AggregationError(f"label {perturbed_label} outside [0, {c})")
-            bits = np.asarray(bits)
-            if bits.shape != (d + 1,):
-                raise AggregationError(f"bits shape {bits.shape} != ({d + 1},)")
-            label_counts[perturbed_label] += 1
-            n_users += 1
-            if bits[flag]:
-                flag_support[perturbed_label] += 1
-            else:
-                item_support[perturbed_label] += bits[:d].astype(np.int64)
-        return CorrelatedSupport(item_support, flag_support, label_counts, n_users)
+        if labels.size:
+            fold_correlated_batch(
+                labels, bits, item_support, flag_support, label_counts
+            )
+        return CorrelatedSupport(
+            item_support, flag_support, label_counts, int(labels.size)
+        )
+
+    def aggregate(self, reports: Iterable[tuple[int, np.ndarray]]) -> CorrelatedSupport:
+        """Fold ``(perturbed_label, bits)`` reports into sufficient stats
+        (thin wrapper over :meth:`aggregate_batch`)."""
+        return self.aggregate_batch(reports)
 
     def accumulator(self):
         """Fresh mergeable streaming accumulator for ``(label, bits)``

@@ -1,0 +1,96 @@
+"""The vectorised batch execution engine of the report plane.
+
+One primitive serves every protocol-mode execution path in the library —
+one-shot frameworks, streaming sessions, and the iterative top-k miners:
+
+    privatise a block of values through the oracle's columnar
+    ``privatize_many``, fold the block with ``aggregate_batch``, repeat.
+
+Blocking bounds peak memory (a block materialises at most roughly
+:data:`BLOCK_ELEMENTS` report bits) while keeping every operation
+vectorised, so there is no per-user Python dispatch anywhere on the hot
+path.  The helpers accept any object exposing the two batch methods: all
+:class:`~repro.mechanisms.base.FrequencyOracle` subclasses and the
+correlated mechanism (whose "values" are a ``(labels, items)`` column
+tuple and whose "support" is a
+:class:`~repro.mechanisms.correlated.CorrelatedSupport`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Union
+
+import numpy as np
+
+#: How many report bits one privatised block may materialise at once.
+BLOCK_ELEMENTS = 2_000_000
+
+
+def batch_spans(
+    n_values: int, width: int, block_elements: Optional[int] = None
+) -> Iterator[slice]:
+    """Slices covering ``n_values`` rows in blocks of ``~block_elements``
+    total cells for rows of ``width`` cells each."""
+    cap = BLOCK_ELEMENTS if block_elements is None else int(block_elements)
+    rows = max(1, cap // max(1, int(width)))
+    for start in range(0, int(n_values), rows):
+        yield slice(start, start + rows)
+
+
+def _columns(values) -> tuple[np.ndarray, ...]:
+    if isinstance(values, tuple):
+        return tuple(np.asarray(col) for col in values)
+    return (np.asarray(values),)
+
+
+def batch_support(
+    oracle,
+    values: Union[np.ndarray, tuple],
+    block_elements: Optional[int] = None,
+):
+    """Support of a privatised batch: ``aggregate_batch(privatize_many(v))``
+    evaluated in bounded blocks.
+
+    ``values`` is an array of per-user true values, or a tuple of aligned
+    column arrays for multi-input mechanisms (the correlated mechanism
+    takes ``(labels, items)``).  Returns whatever the oracle's
+    ``aggregate_batch`` returns — support vectors are summed across
+    blocks, so the result equals a single unbounded batch exactly.
+    """
+    cols = _columns(values)
+    n = int(cols[0].size)
+    width = max(1, int(oracle.communication_bits()))
+    support = None
+    for span in batch_spans(n, width, block_elements):
+        reports = oracle.privatize_many(*(col[span] for col in cols))
+        block = oracle.aggregate_batch(reports)
+        support = block if support is None else support + block
+    if support is None:  # empty batch: aggregate nothing for typed zeros
+        reports = oracle.privatize_many(*(col[:0] for col in cols))
+        support = oracle.aggregate_batch(reports)
+    return support
+
+
+def grouped_batch_support(
+    oracle,
+    groups: np.ndarray,
+    values: np.ndarray,
+    n_groups: int,
+    block_elements: Optional[int] = None,
+) -> np.ndarray:
+    """Per-group support of bit-vector reports: row ``g`` sums the reports
+    of users with ``groups[u] == g``.
+
+    The label-grouped aggregation PTS-style sessions need — item reports
+    are scattered into the perturbed label's row instead of one global
+    support.  ``oracle`` must produce fixed-width bit-vector reports of
+    ``oracle.domain_size`` bits (OUE/SUE).
+    """
+    groups = np.asarray(groups, dtype=np.int64).ravel()
+    values = np.asarray(values, dtype=np.int64).ravel()
+    width = int(oracle.domain_size)
+    out = np.zeros((int(n_groups), width), dtype=np.int64)
+    for span in batch_spans(values.size, width, block_elements):
+        bits = np.asarray(oracle.privatize_many(values[span]), dtype=np.int64)
+        np.add.at(out, groups[span], bits)
+    return out

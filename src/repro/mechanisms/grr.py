@@ -10,11 +10,11 @@ correlated mechanisms.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..exceptions import AggregationError, DomainError
+from ..exceptions import DomainError
 from ..rng import RngLike
 from .base import (
     FrequencyOracle,
@@ -22,6 +22,7 @@ from .base import (
     check_domain_size,
     pure_protocol_variance,
 )
+from .kernels import categorical_support
 
 
 class GeneralizedRandomResponse(FrequencyOracle):
@@ -82,13 +83,12 @@ class GeneralizedRandomResponse(FrequencyOracle):
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[int]) -> np.ndarray:
-        if not isinstance(reports, np.ndarray):
-            reports = list(reports)
-        reports = np.asarray(reports, dtype=np.int64).ravel()
-        if reports.size and (reports.min() < 0 or reports.max() >= self.domain_size):
-            raise AggregationError("GRR report outside domain")
-        return np.bincount(reports, minlength=self.domain_size).astype(np.int64)
+    def aggregate_batch(self, reports) -> np.ndarray:
+        """Support counts of a categorical report batch (validated bincount)."""
+        return categorical_support(reports, self.domain_size, "GRR")
+
+    def _batch_size(self, reports: np.ndarray) -> int:
+        return int(np.asarray(reports).size)
 
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
         if self.domain_size == 1:

@@ -14,13 +14,14 @@ Values are mapped to columns ``1..d`` so the constant column 0 is unused.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
 from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from .base import FrequencyOracle
+from .engine import batch_spans
 
 
 def _hadamard_entry(row: np.ndarray, col: np.ndarray) -> np.ndarray:
@@ -33,6 +34,52 @@ def _hadamard_entry(row: np.ndarray, col: np.ndarray) -> np.ndarray:
         parity ^= x & 1
         x >>= np.uint64(1)
     return np.where(parity == 1, -1, 1).astype(np.int64)
+
+
+def as_report_pairs(reports) -> np.ndarray:
+    """Normalise HR reports into an ``(n, 2)`` int64 array (maybe empty)."""
+    if not isinstance(reports, np.ndarray):
+        reports = list(reports)
+    arr = np.asarray(reports, dtype=np.int64)
+    if arr.size == 0:
+        return arr.reshape(0, 2)
+    if arr.ndim == 1:
+        arr = arr[None, :]
+    if arr.ndim != 2 or arr.shape[1] != 2:
+        raise AggregationError(
+            f"HR reports must be (row, sign) pairs, got shape {arr.shape}"
+        )
+    return arr
+
+
+def bulk_signed_support(
+    rows: np.ndarray,
+    signs: np.ndarray,
+    domain_size: int,
+    K: int,
+    block_elements: int = 4_000_000,
+) -> np.ndarray:
+    """Signed correlation sums ``S_v = sum_u sign_u * H[row_u, v+1]``.
+
+    Every report's Hadamard row is evaluated over the whole value domain
+    in NumPy blocks of roughly ``block_elements`` matrix cells.  Shared by
+    :meth:`HadamardResponse.aggregate_batch` and the streaming accumulator
+    (:class:`repro.stream.accumulators.HadamardAccumulator`).
+    """
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    signs = np.asarray(signs, dtype=np.int64).ravel()
+    support = np.zeros(domain_size, dtype=np.int64)
+    if rows.size == 0:
+        return support
+    if rows.min() < 0 or rows.max() >= K:
+        raise AggregationError(f"HR row outside [0, {K})")
+    if not np.isin(signs, (-1, 1)).all():
+        raise AggregationError("HR sign must be +/-1")
+    cols = np.arange(1, domain_size + 1, dtype=np.uint64)
+    for span in batch_spans(rows.size, domain_size, block_elements):
+        entries = _hadamard_entry(rows[span, None].astype(np.uint64), cols[None, :])
+        support += (signs[span, None] * entries).sum(axis=0)
+    return support
 
 
 class HadamardResponse(FrequencyOracle):
@@ -58,24 +105,30 @@ class HadamardResponse(FrequencyOracle):
             sign = -sign
         return (j, sign)
 
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Privatise a batch into an ``(batch, 2)`` int64 ``(row, sign)``
+        array in one vectorised pass (same law as :meth:`privatize`)."""
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise DomainError(f"values outside domain [0, {self.domain_size})")
+        rows = self.rng.integers(0, self.K, size=values.size)
+        signs = _hadamard_entry(rows.astype(np.uint64), (values + 1).astype(np.uint64))
+        flip = self.rng.random(values.size) >= self.p_keep
+        signs = np.where(flip, -signs, signs)
+        return np.column_stack([rows, signs]).astype(np.int64)
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[tuple[int, int]]) -> np.ndarray:
+    def aggregate_batch(self, reports) -> np.ndarray:
         """Return the correlation sum ``S_v = sum_u sign_u * H[j_u, v+1]``.
 
         Unlike count-based oracles the "support" here is a signed sum; the
-        calibration in :meth:`estimate` is adjusted accordingly.
+        calibration in :meth:`estimate` is adjusted accordingly.  The
+        blockwise kernel is :func:`bulk_signed_support`.
         """
-        support = np.zeros(self.domain_size, dtype=np.int64)
-        cols = np.arange(1, self.domain_size + 1, dtype=np.uint64)
-        for j, sign in reports:
-            if sign not in (-1, 1):
-                raise AggregationError(f"HR sign must be +/-1, got {sign}")
-            if not 0 <= j < self.K:
-                raise AggregationError(f"HR row {j} outside [0, {self.K})")
-            support += sign * _hadamard_entry(np.full(self.domain_size, j, dtype=np.uint64), cols)
-        return support
+        arr = as_report_pairs(reports)
+        return bulk_signed_support(arr[:, 0], arr[:, 1], self.domain_size, self.K)
 
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
         scale = 2.0 * self.p_keep - 1.0

@@ -1,0 +1,88 @@
+"""Columnar report kernels — the report plane's shared vocabulary.
+
+Every LDP oracle in this package privatises and aggregates *batches* of
+reports through a handful of vectorised kernels.  They live here, below
+both the oracles and the streaming accumulators, so the one-shot
+``aggregate_batch`` path and the incremental ``ingest_batch`` path are the
+same code — the two cannot drift apart.
+
+The kernels operate on plain ndarrays (no mechanism objects, no RNG state
+beyond an explicit generator argument) and therefore compose freely: the
+batch execution engine (:mod:`repro.mechanisms.engine`) slices value
+arrays into bounded blocks and pushes each block through
+``privatize_many`` → ``aggregate_batch``, both of which bottom out here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import AggregationError
+
+
+def as_report_array(reports, name: str = "categorical") -> np.ndarray:
+    """Normalise categorical (integer) reports into a flat int64 array."""
+    if not isinstance(reports, np.ndarray):
+        reports = list(reports)
+    return np.asarray(reports, dtype=np.int64).ravel()
+
+
+def as_report_matrix(reports, width: int, name: str) -> np.ndarray:
+    """Normalise bit-vector reports into a ``(batch, width)`` array.
+
+    Accepts an ndarray, a sequence of per-user vectors, or a single 1-D
+    report (treated as a batch of one).
+    """
+    if not isinstance(reports, np.ndarray):
+        reports = list(reports)
+        if not reports:
+            return np.zeros((0, width), dtype=np.int64)
+        reports = np.asarray(reports)
+    if reports.ndim == 1:
+        reports = reports[None, :] if reports.size else reports.reshape(0, width)
+    if reports.ndim != 2 or reports.shape[1] != width:
+        raise AggregationError(
+            f"{name} reports must have shape (batch, {width}), got {reports.shape}"
+        )
+    return reports
+
+
+def categorical_support(reports, domain_size: int, name: str = "categorical") -> np.ndarray:
+    """Support counts of categorical reports: a validated bincount."""
+    arr = as_report_array(reports, name)
+    if arr.size and (arr.min() < 0 or arr.max() >= domain_size):
+        raise AggregationError(f"{name} report outside domain [0, {domain_size})")
+    return np.bincount(arr, minlength=domain_size).astype(np.int64)
+
+
+def bit_matrix_support(reports, width: int, name: str = "bit-vector") -> np.ndarray:
+    """Support counts of bit-vector reports: the validated column sum."""
+    bits = as_report_matrix(reports, width, name)
+    return bits.sum(axis=0, dtype=np.int64)
+
+
+def perturb_onehot_batch(
+    positions: np.ndarray,
+    width: int,
+    p: float,
+    q: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Perturbed one-hot rows: ``positions[u]`` is user ``u``'s set bit and
+    every bit keeps/flips with the ``(p, q)`` law.
+
+    The one unary-encoding perturbation kernel shared by OUE/SUE, the
+    validity perturbation (whose set bit may be the flag) and the
+    correlated mechanism's item stage.  Each row consumes ``width``
+    uniforms in order, so a batch is draw-for-draw identical to the
+    per-user ``privatize`` loop on the same generator.
+
+    Memory is ``batch × width``; callers with unbounded batches go through
+    :func:`repro.mechanisms.engine.batch_support`, which blocks the input.
+    """
+    positions = np.asarray(positions, dtype=np.int64).ravel()
+    u = rng.random((positions.size, width))
+    bits = u < q
+    rows = np.arange(positions.size)
+    bits[rows, positions] = u[rows, positions] < p
+    return bits.astype(np.uint8)

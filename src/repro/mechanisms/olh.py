@@ -17,13 +17,14 @@ three.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..exceptions import AggregationError
+from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from .base import FrequencyOracle, calibrate_counts, pure_protocol_variance
+from .engine import batch_spans
 
 #: Large Mersenne prime used by the universal hash family.
 _PRIME = (1 << 61) - 1
@@ -86,12 +87,10 @@ def bulk_hash_support(
         raise AggregationError(f"OLH report outside [0, {g})")
     domain = np.arange(domain_size, dtype=np.uint64)
     targets = reports.astype(np.uint64)
-    rows_per_block = max(1, block_elements // max(1, domain_size))
-    for start in range(0, reports.size, rows_per_block):
-        stop = start + rows_per_block
-        block = (a[start:stop, None] * domain[None, :] + b[start:stop, None]) % _PRIME
+    for span in batch_spans(reports.size, domain_size, block_elements):
+        block = (a[span, None] * domain[None, :] + b[span, None]) % _PRIME
         block %= np.uint64(g)
-        support += (block == targets[start:stop, None]).sum(axis=0)
+        support += (block == targets[span, None]).sum(axis=0)
     return support
 
 
@@ -136,10 +135,34 @@ class OptimalLocalHashing(FrequencyOracle):
             report = other + (other >= hashed)
         return (a, b, report)
 
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Privatise a batch into an ``(batch, 3)`` int64 array of
+        ``(a, b, perturbed_hash)`` triples in one vectorised pass.
+
+        Per-user hash functions are drawn, evaluated on the user's value
+        and GRR-perturbed over ``[0, g)`` without any Python loop; the law
+        per row matches :meth:`privatize`.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise DomainError(f"values outside domain [0, {self.domain_size})")
+        a = self.rng.integers(1, _PRIME, size=values.size, dtype=np.int64)
+        b = self.rng.integers(0, _PRIME, size=values.size, dtype=np.int64)
+        hashed = (
+            (a.astype(np.uint64) * values.astype(np.uint64) + b.astype(np.uint64))
+            % _PRIME
+            % np.uint64(self.g)
+        ).astype(np.int64)
+        keep = self.rng.random(values.size) < self.p
+        others = self.rng.integers(0, self.g - 1, size=values.size)
+        others = others + (others >= hashed)
+        reports = np.where(keep, hashed, others)
+        return np.column_stack([a, b, reports]).astype(np.int64)
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[tuple[int, int, int]]) -> np.ndarray:
+    def aggregate_batch(self, reports) -> np.ndarray:
         """Support of ``v``: number of users with ``hash_u(v) == report_u``.
 
         Work is ``O(n * d)`` but vectorised through

@@ -16,14 +16,15 @@ baseline, not used by the multi-class frameworks themselves.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 from scipy.optimize import nnls
 
-from ..exceptions import AggregationError
+from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from .base import FrequencyOracle
+from .kernels import bit_matrix_support
 
 _PRIME = (1 << 61) - 1
 
@@ -84,19 +85,34 @@ class Rappor(FrequencyOracle):
         keep_prob = np.where(bits == 1, self.p, self.q)
         return (u < keep_prob).astype(np.uint8)
 
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Bloom-encode and flip a whole batch into ``(batch, m)`` uint8.
+
+        Hash evaluation and the per-bit flips are one vectorised pass;
+        each row consumes the generator exactly like :meth:`privatize`.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise DomainError(f"values outside domain [0, {self.domain_size})")
+        encoded = np.zeros((values.size, self.n_bits), dtype=bool)
+        if values.size:
+            # (h, batch) Bloom positions of every value under every hash.
+            positions = (
+                (self._hash_a[:, None] * values.astype(np.uint64)[None, :] + self._hash_b[:, None])
+                % _PRIME
+                % np.uint64(self.n_bits)
+            ).astype(np.int64)
+            rows = np.broadcast_to(np.arange(values.size), positions.shape)
+            encoded[rows, positions] = True
+        u = self.rng.random((values.size, self.n_bits))
+        return (u < np.where(encoded, self.p, self.q)).astype(np.uint8)
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[np.ndarray]) -> np.ndarray:
-        support = np.zeros(self.n_bits, dtype=np.int64)
-        for report in reports:
-            report = np.asarray(report)
-            if report.shape != (self.n_bits,):
-                raise AggregationError(
-                    f"report shape {report.shape} != ({self.n_bits},)"
-                )
-            support += report.astype(np.int64)
-        return support
+    def aggregate_batch(self, reports) -> np.ndarray:
+        """Column sums of a ``(batch, m)`` Bloom-bit report matrix."""
+        return bit_matrix_support(reports, self.n_bits, "RAPPOR")
 
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
         """NNLS decode: solve ``min ||X f - y||`` with the debiased bit

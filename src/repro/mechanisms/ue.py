@@ -14,13 +14,14 @@ Both satisfy ε-LDP with ``eps = ln[p(1-q) / ((1-p)q)]``.
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..exceptions import AggregationError
+from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from .base import FrequencyOracle, calibrate_counts, pure_protocol_variance
+from .kernels import bit_matrix_support, perturb_onehot_batch
 
 
 class UnaryEncoding(FrequencyOracle):
@@ -70,19 +71,27 @@ class UnaryEncoding(FrequencyOracle):
     def privatize(self, value: int) -> np.ndarray:
         return self.perturb_bits(self.encode(value))
 
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Perturb a batch of values into a ``(batch, d)`` uint8 bit matrix.
+
+        One vectorised pass through the shared one-hot kernel; each row is
+        draw-for-draw identical to :meth:`privatize` on the same
+        generator.  Memory is ``batch × d`` — unbounded batches go through
+        :func:`repro.mechanisms.engine.batch_support`.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size and (values.min() < 0 or values.max() >= self.domain_size):
+            raise DomainError(
+                f"values outside domain [0, {self.domain_size})"
+            )
+        return perturb_onehot_batch(values, self.domain_size, self.p, self.q, self.rng)
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[np.ndarray]) -> np.ndarray:
-        support = np.zeros(self.domain_size, dtype=np.int64)
-        for report in reports:
-            report = np.asarray(report)
-            if report.shape != (self.domain_size,):
-                raise AggregationError(
-                    f"report shape {report.shape} != ({self.domain_size},)"
-                )
-            support += report.astype(np.int64)
-        return support
+    def aggregate_batch(self, reports) -> np.ndarray:
+        """Column sums of a ``(batch, d)`` bit-report matrix."""
+        return bit_matrix_support(reports, self.domain_size, "unary-encoding")
 
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
         return calibrate_counts(support, n, self.p, self.q)

@@ -24,7 +24,7 @@ trick (Theorem 4).
 from __future__ import annotations
 
 import math
-from typing import Iterable, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -32,6 +32,25 @@ from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
 from ..types import INVALID_ITEM
 from .base import FrequencyOracle
+from .kernels import as_report_matrix, perturb_onehot_batch
+
+
+def flag_filtered_support(bits: np.ndarray, domain_size: int) -> np.ndarray:
+    """Flag-filtered fold of ``(batch, d + 1)`` validity reports.
+
+    Positions ``0..d-1`` sum the item bits of reports whose perturbed flag
+    is clear; position ``d`` counts the reports whose flag is set.  The
+    one vectorised statement of the paper's Section IV-A server law,
+    shared by :meth:`ValidityPerturbation.aggregate_batch` and the
+    streaming accumulator
+    (:class:`repro.stream.accumulators.FlagFilteredAccumulator`).
+    """
+    bits = as_report_matrix(bits, domain_size + 1, "validity")
+    flag = bits[:, domain_size].astype(bool)
+    support = np.zeros(domain_size + 1, dtype=np.int64)
+    support[:domain_size] = bits[~flag, :domain_size].sum(axis=0, dtype=np.int64)
+    support[domain_size] = int(flag.sum())
+    return support
 
 
 class ValidityPerturbation(FrequencyOracle):
@@ -95,28 +114,34 @@ class ValidityPerturbation(FrequencyOracle):
     def privatize(self, value: int) -> np.ndarray:
         return self.perturb_bits(self.encode(value))
 
+    def privatize_many(self, values: np.ndarray) -> np.ndarray:
+        """Perturb a batch into ``(batch, d + 1)`` uint8 reports.
+
+        Negative values (:data:`~repro.types.INVALID_ITEM`) set the
+        validity flag instead of an item bit; everything then flips with
+        the ``(p, q)`` law in one vectorised pass, draw-for-draw identical
+        to :meth:`privatize`.
+        """
+        values = np.asarray(values, dtype=np.int64).ravel()
+        if values.size and values.max() >= self.domain_size:
+            raise DomainError(f"values outside domain [0, {self.domain_size})")
+        positions = np.where(values < 0, self.flag_position, values)
+        return perturb_onehot_batch(
+            positions, self.report_length, self.p, self.q, self.rng
+        )
+
     # ------------------------------------------------------------------
     # server side
     # ------------------------------------------------------------------
-    def aggregate(self, reports: Iterable[np.ndarray]) -> np.ndarray:
+    def aggregate_batch(self, reports) -> np.ndarray:
         """Fold reports into ``d + 1`` support counts.
 
         Positions ``0..d-1`` hold the *flag-filtered* item supports
         (reports whose perturbed flag is clear); position ``d`` holds the
         raw flag support (number of reports whose perturbed flag is set).
+        One pass through :func:`flag_filtered_support`.
         """
-        support = np.zeros(self.report_length, dtype=np.int64)
-        for report in reports:
-            report = np.asarray(report)
-            if report.shape != (self.report_length,):
-                raise AggregationError(
-                    f"report shape {report.shape} != ({self.report_length},)"
-                )
-            if report[self.flag_position]:
-                support[self.flag_position] += 1
-            else:
-                support[: self.domain_size] += report[: self.domain_size].astype(np.int64)
-        return support
+        return flag_filtered_support(reports, self.domain_size)
 
     def estimate(self, support: np.ndarray, n: int) -> np.ndarray:
         """Unbiased valid-item counts (length ``d``).

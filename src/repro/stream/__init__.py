@@ -12,6 +12,9 @@ this subpackage converts aggregation into an online system:
   framework (HEC / PTJ / PTS / PTS-CP): ingest ``(labels, items)``
   batches, query ``estimate()`` / ``topk(k)`` at any time, merge across
   shards, checkpoint to ``.npz``.
+* :mod:`~repro.stream.topk_session` — :class:`OnlineTopKSession`, the
+  incremental top-k miner: ingest users round-by-round against a
+  per-class candidate frontier, query per-class top-k mid-stream.
 * :mod:`~repro.stream.checkpoint` — the plain-data ``.npz`` state format.
 
 Quickstart::
@@ -50,6 +53,7 @@ from .session import (
     make_session,
 )
 from .sharding import ShardedAggregator, default_shard_count
+from .topk_session import OnlineTopKSession
 
 __all__ = [
     "ACCUMULATORS",
@@ -64,6 +68,7 @@ __all__ = [
     "OnlinePTJ",
     "OnlinePTS",
     "OnlinePTSCP",
+    "OnlineTopKSession",
     "SESSIONS",
     "ShardedAggregator",
     "SupportAccumulator",

@@ -21,6 +21,11 @@ RNG, only counts, so they serialise to plain arrays
 and can be shipped between processes.  Calibration stays with the
 mechanism: ``mechanism.estimate(acc.support(), acc.n)``.
 
+Every ``ingest_batch`` delegates to the same columnar kernels the
+mechanisms' ``aggregate_batch`` methods use
+(:mod:`repro.mechanisms.kernels` and the per-mechanism bulk folds), so
+incremental and one-shot aggregation are literally the same code.
+
 Build one with :func:`accumulator_for` (or ``mechanism.accumulator()``).
 """
 
@@ -32,26 +37,13 @@ from typing import Mapping
 import numpy as np
 
 from ..exceptions import AggregationError, ConfigurationError
-from ..mechanisms.hadamard import _hadamard_entry
-
-#: How many matrix cells a vectorised ingest block may materialise at once.
-_BLOCK_ELEMENTS = 4_000_000
-
-
-def _as_report_matrix(reports, width: int, name: str) -> np.ndarray:
-    """Normalise bit-vector reports into a ``(batch, width)`` array."""
-    if not isinstance(reports, np.ndarray):
-        reports = list(reports)
-        if not reports:
-            return np.zeros((0, width), dtype=np.int64)
-        reports = np.asarray(reports)
-    if reports.ndim == 1:
-        reports = reports[None, :] if reports.size else reports.reshape(0, width)
-    if reports.ndim != 2 or reports.shape[1] != width:
-        raise AggregationError(
-            f"{name} reports must have shape (batch, {width}), got {reports.shape}"
-        )
-    return reports
+from ..mechanisms.correlated import fold_correlated_batch
+from ..mechanisms.kernels import (
+    as_report_matrix as _as_report_matrix,
+    bit_matrix_support,
+    categorical_support,
+)
+from ..mechanisms.validity import flag_filtered_support
 
 
 class SupportAccumulator(abc.ABC):
@@ -206,11 +198,7 @@ class CountAccumulator(SupportAccumulator):
             reports = list(reports)
         arr = np.asarray(reports, dtype=np.int64).ravel()
         if arr.size:
-            if arr.min() < 0 or arr.max() >= self.domain_size:
-                raise AggregationError(
-                    f"report outside domain [0, {self.domain_size})"
-                )
-            self._support += np.bincount(arr, minlength=self.domain_size)
+            self._support += categorical_support(arr, self.domain_size)
             self.n += arr.size
         return int(arr.size)
 
@@ -241,7 +229,7 @@ class BitVectorAccumulator(SupportAccumulator):
     def ingest_batch(self, reports) -> int:
         bits = _as_report_matrix(reports, self.width, "bit-vector")
         if bits.shape[0]:
-            self._support += bits.sum(axis=0, dtype=np.int64)
+            self._support += bit_matrix_support(bits, self.width)
             self.n += bits.shape[0]
         return int(bits.shape[0])
 
@@ -274,11 +262,9 @@ class FlagFilteredAccumulator(SupportAccumulator):
     def ingest_batch(self, reports) -> int:
         bits = _as_report_matrix(reports, self.domain_size + 1, "validity")
         if bits.shape[0]:
-            flag = bits[:, self.domain_size].astype(bool)
-            self._flag_support[0] += int(flag.sum())
-            self._item_support += bits[~flag, : self.domain_size].sum(
-                axis=0, dtype=np.int64
-            )
+            support = flag_filtered_support(bits, self.domain_size)
+            self._item_support += support[: self.domain_size]
+            self._flag_support[0] += support[self.domain_size]
             self.n += bits.shape[0]
         return int(bits.shape[0])
 
@@ -359,32 +345,16 @@ class HadamardAccumulator(SupportAccumulator):
         self._support = np.zeros(self.domain_size, dtype=np.int64)
 
     def ingest_batch(self, reports) -> int:
-        if not isinstance(reports, np.ndarray):
-            reports = list(reports)
-        arr = np.asarray(reports, dtype=np.int64)
+        from ..mechanisms.hadamard import as_report_pairs, bulk_signed_support
+
+        arr = as_report_pairs(reports)
         if arr.size == 0:
             return 0
-        if arr.ndim == 1:
-            arr = arr[None, :]
-        if arr.ndim != 2 or arr.shape[1] != 2:
-            raise AggregationError(
-                f"HR reports must be (row, sign) pairs, got shape {arr.shape}"
-            )
-        rows, signs = arr[:, 0], arr[:, 1]
-        if rows.min() < 0 or rows.max() >= self.K:
-            raise AggregationError(f"HR row outside [0, {self.K})")
-        if not np.isin(signs, (-1, 1)).all():
-            raise AggregationError("HR sign must be +/-1")
-        cols = np.arange(1, self.domain_size + 1, dtype=np.uint64)
-        per_block = max(1, _BLOCK_ELEMENTS // max(1, self.domain_size))
-        for start in range(0, rows.size, per_block):
-            stop = start + per_block
-            entries = _hadamard_entry(
-                rows[start:stop, None].astype(np.uint64), cols[None, :]
-            )
-            self._support += (signs[start:stop, None] * entries).sum(axis=0)
-        self.n += int(rows.size)
-        return int(rows.size)
+        self._support += bulk_signed_support(
+            arr[:, 0], arr[:, 1], self.domain_size, self.K
+        )
+        self.n += int(arr.shape[0])
+        return int(arr.shape[0])
 
     def support(self) -> np.ndarray:
         return self._support.copy()
@@ -394,28 +364,6 @@ class HadamardAccumulator(SupportAccumulator):
 
     def _count_arrays(self) -> dict[str, np.ndarray]:
         return {"support": self._support}
-
-
-def fold_correlated_batch(
-    labels: np.ndarray,
-    bits: np.ndarray,
-    item_support: np.ndarray,
-    flag_support: np.ndarray,
-    label_counts: np.ndarray,
-) -> None:
-    """Flag-filtered fold of ``(label, bits)`` reports into the three
-    correlated sufficient-statistic arrays, in place.
-
-    The single vectorised statement of the server-side law (paper
-    Section IV-B): item bits count only under a clear perturbed flag.
-    Shared by :class:`CorrelatedAccumulator` and the streaming PTS-CP
-    session so the fold cannot drift between them.
-    """
-    d = item_support.shape[1]
-    flag = bits[:, d].astype(bool)
-    label_counts += np.bincount(labels, minlength=label_counts.size)
-    flag_support += np.bincount(labels[flag], minlength=flag_support.size)
-    np.add.at(item_support, labels[~flag], bits[~flag, :d].astype(np.int64))
 
 
 class CorrelatedAccumulator(SupportAccumulator):
@@ -438,22 +386,10 @@ class CorrelatedAccumulator(SupportAccumulator):
         self._label_counts = np.zeros(self.n_classes, dtype=np.int64)
 
     def ingest_batch(self, reports) -> int:
-        c, d = self.n_classes, self.n_items
-        if isinstance(reports, tuple) and len(reports) == 2:
-            labels = np.asarray(reports[0], dtype=np.int64).ravel()
-            bits = _as_report_matrix(reports[1], d + 1, "correlated")
-        else:
-            reports = list(reports)
-            if not reports:
-                return 0
-            labels = np.asarray([label for label, _ in reports], dtype=np.int64)
-            bits = _as_report_matrix(
-                np.asarray([np.asarray(b) for _, b in reports]), d + 1, "correlated"
-            )
-        if labels.size != bits.shape[0]:
-            raise AggregationError(
-                f"labels ({labels.size}) and bits ({bits.shape[0]}) must align"
-            )
+        from ..mechanisms.correlated import as_correlated_columns
+
+        c = self.n_classes
+        labels, bits = as_correlated_columns(reports, self.n_items)
         if labels.size == 0:
             return 0
         if labels.min() < 0 or labels.max() >= c:

@@ -21,12 +21,14 @@ the same estimates as a single session.  Sessions checkpoint to ``.npz``
 Both framework execution modes are supported per batch: ``"simulate"``
 draws the batch's sufficient statistics exactly (fast path — LDP noise is
 iid per user, so batch-wise simulation induces the same law as the
-one-shot run), ``"protocol"`` privatises each user's report
-(vectorised).  Streaming HEC differs from the one-shot framework in one
-place: users are assigned to class groups iid-uniformly on arrival rather
-than by an exact partition of the final population, since a stream's
-total size is unknown; the calibration divides by realised group sizes,
-so estimates stay unbiased.
+one-shot run), ``"protocol"`` privatises each user's report through the
+report-plane engine (:mod:`repro.mechanisms.engine`) — the same blockwise
+``privatize_many`` → ``aggregate_batch`` primitive the one-shot
+frameworks and the top-k miners use.  Streaming HEC differs from the
+one-shot framework in one place: users are assigned to class groups
+iid-uniformly on arrival rather than by an exact partition of the final
+population, since a stream's total size is unknown; the calibration
+divides by realised group sizes, so estimates stay unbiased.
 """
 
 from __future__ import annotations
@@ -49,53 +51,10 @@ from ..mechanisms.adaptive import make_adaptive
 from ..mechanisms.base import check_domain_size, check_epsilon
 from ..mechanisms.budget import split_budget
 from ..mechanisms.correlated import CorrelatedPerturbation, CorrelatedSupport
+from ..mechanisms.engine import batch_support, grouped_batch_support
 from ..mechanisms.grr import GeneralizedRandomResponse
 from ..mechanisms.ue import OptimizedUnaryEncoding
 from ..rng import RngLike, ensure_rng
-from .accumulators import fold_correlated_batch
-
-#: How many matrix cells a vectorised protocol block may materialise.
-_BLOCK_ELEMENTS = 2_000_000
-
-
-def _perturbed_onehot_blocks(
-    positions: np.ndarray,
-    width: int,
-    p: float,
-    q: float,
-    rng: np.random.Generator,
-):
-    """Yield ``(block_slice, bits)`` of per-user perturbed one-hot rows.
-
-    ``positions[u]`` is user ``u``'s set bit; every bit flips with the
-    ``(p, q)`` law.  Blocks bound the ``(batch, width)`` uniform draw —
-    the one vectorised perturbation kernel shared by every protocol-mode
-    ingest path (plain OUE, PTS's label-grouped bits, PTS-CP's
-    flag-carrying bits).
-    """
-    per_block = max(1, _BLOCK_ELEMENTS // max(1, width))
-    for start in range(0, positions.size, per_block):
-        block = slice(start, start + per_block)
-        chunk = positions[block]
-        u = rng.random((chunk.size, width))
-        bits = u < q
-        rows = np.arange(chunk.size)
-        bits[rows, chunk] = u[rows, chunk] < p
-        yield block, bits
-
-
-def _bit_flip_support(
-    positions: np.ndarray,
-    width: int,
-    p: float,
-    q: float,
-    rng: np.random.Generator,
-) -> np.ndarray:
-    """Column sums of per-user perturbed one-hot vectors (OUE protocol)."""
-    support = np.zeros(width, dtype=np.int64)
-    for _block, bits in _perturbed_onehot_blocks(positions, width, p, q, rng):
-        support += bits.sum(axis=0, dtype=np.int64)
-    return support
 
 
 class OnlineFrameworkSession:
@@ -355,13 +314,7 @@ class OnlinePTJ(OnlineFrameworkSession):
 
     def _ingest_protocol(self, labels: np.ndarray, items: np.ndarray) -> None:
         flat = labels * self.n_items + items
-        if self._oracle.name == "grr":
-            reports = self._oracle.privatize_many(flat)
-            self._support += np.bincount(reports, minlength=self._support.size)
-        else:
-            self._support += _bit_flip_support(
-                flat, self._support.size, self._oracle.p, self._oracle.q, self.rng
-            )
+        self._support += batch_support(self._oracle, flat)
 
     def _estimate(self) -> np.ndarray:
         return calibrate_ptj(
@@ -411,11 +364,9 @@ class OnlinePTS(OnlineFrameworkSession):
 
     def _ingest_protocol(self, labels: np.ndarray, items: np.ndarray) -> None:
         perturbed = self._label_oracle.privatize_many(labels)
-        p2, q2 = self._item_oracle.p, self._item_oracle.q
-        for block, bits in _perturbed_onehot_blocks(
-            items, self.n_items, p2, q2, self.rng
-        ):
-            np.add.at(self._pair_support, perturbed[block], bits.astype(np.int64))
+        self._pair_support += grouped_batch_support(
+            self._item_oracle, perturbed, items, self.n_classes
+        )
         self._label_counts += np.bincount(perturbed, minlength=self.n_classes)
 
     def _estimate(self) -> np.ndarray:
@@ -487,21 +438,10 @@ class OnlinePTSCP(OnlineFrameworkSession):
         self._label_counts += support.label_counts
 
     def _ingest_protocol(self, labels: np.ndarray, items: np.ndarray) -> None:
-        mech = self._mechanism
-        perturbed = mech._label_mech.privatize_many(labels)
-        d = self.n_items
-        # The set bit: the item for label survivors, the flag for the rest.
-        positions = np.where(perturbed == labels, items, d)
-        for block, bits in _perturbed_onehot_blocks(
-            positions, d + 1, mech.p2, mech.q2, self.rng
-        ):
-            fold_correlated_batch(
-                perturbed[block],
-                bits,
-                self._item_support,
-                self._flag_support,
-                self._label_counts,
-            )
+        support = batch_support(self._mechanism, (labels, items))
+        self._item_support += support.item_support
+        self._flag_support += support.flag_support
+        self._label_counts += support.label_counts
 
     def _correlated_support(self) -> CorrelatedSupport:
         return CorrelatedSupport(
@@ -586,13 +526,7 @@ class OnlineHEC(OnlineFrameworkSession):
                 items[mask],
                 self.rng.integers(0, d, size=size),
             )
-            if self._oracle.name == "grr":
-                reports = self._oracle.privatize_many(values)
-                self._group_support[group] += np.bincount(reports, minlength=d)
-            else:
-                self._group_support[group] += _bit_flip_support(
-                    values, d, self._oracle.p, self._oracle.q, self.rng
-                )
+            self._group_support[group] += batch_support(self._oracle, values)
             self._group_sizes[group] += size
 
     def _estimate(self) -> np.ndarray:

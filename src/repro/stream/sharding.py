@@ -15,12 +15,21 @@ Because support counts are additive, sharded ingestion of a report set
 equals single-state ingestion of the same set *exactly* for protocol-mode
 reports, and in distribution for simulate-mode sessions (each shard draws
 from its own stream).
+
+Two executors are available.  ``executor="thread"`` (default) serves each
+shard from its own single-worker thread — cheap hand-off, shared memory,
+concurrency bounded by the GIL outside NumPy kernels.
+``executor="process"`` ships each shard's queued batches to a process
+pool at :meth:`ShardedAggregator.drain` time: shard states are plain data
+(count arrays plus picklable generators), so they round-trip through the
+pool workers and come back replaced, sidestepping the GIL entirely for
+CPU-bound ingest kernels at the cost of (de)serialising states per drain.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from functools import reduce
 from typing import Callable, Optional, Sequence, Union
 
@@ -30,10 +39,57 @@ from ..exceptions import ConfigurationError
 Mergeable = object
 ShardFactory = Callable[[], Mergeable]
 
+#: The two batch executors.
+EXECUTORS = ("thread", "process")
+
 
 def default_shard_count() -> int:
     """Shards used when the caller does not choose: one per CPU, capped."""
     return max(1, min(8, os.cpu_count() or 1))
+
+
+def _ingest_into(shard, batches):
+    """Process-pool worker: replay ``batches`` into ``shard`` in order.
+
+    Module-level so it pickles; returns the mutated shard plus per-batch
+    sizes so the parent can resolve the submit futures.
+    """
+    sizes = [int(shard.ingest_batch(batch) or 0) for batch in batches]
+    return shard, sizes
+
+
+class _DeferredFuture(Future):
+    """Future resolved by the aggregator's next drain.
+
+    Process-mode batches only ship at :meth:`ShardedAggregator.drain`
+    time; waiting on the future before that would deadlock, so
+    ``result``/``exception`` trigger the drain themselves, keeping the
+    thread-mode contract (``submit(...).result()`` just works).
+    """
+
+    def __init__(self, drain) -> None:
+        super().__init__()
+        self._drain = drain
+
+    def _drain_resolving(self) -> None:
+        """Run the drain; if it fails before resolving this future (broken
+        pool, another shard's error), park the failure here so waiting
+        neither deadlocks nor raises an unrelated shard's exception."""
+        try:
+            self._drain()
+        except BaseException as error:  # noqa: BLE001 - parked on the future
+            if not self.done():
+                self.set_exception(error)
+
+    def result(self, timeout=None):
+        if not self.done():
+            self._drain_resolving()
+        return super().result(timeout)
+
+    def exception(self, timeout=None):
+        if not self.done():
+            self._drain_resolving()
+        return super().exception(timeout)
 
 
 class ShardedAggregator:
@@ -48,16 +104,26 @@ class ShardedAggregator:
     n_shards:
         Number of shards when ``shards`` is a factory; ignored (and
         validated) otherwise.  Defaults to :func:`default_shard_count`.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see the module
+        docstring.  Process mode requires picklable shard states (every
+        accumulator and session qualifies) and defers actual ingestion to
+        :meth:`drain`.
 
     Use as a context manager (or call :meth:`close`) to release the
-    worker threads.
+    workers.
     """
 
     def __init__(
         self,
         shards: Union[Sequence[Mergeable], ShardFactory],
         n_shards: Optional[int] = None,
+        executor: str = "thread",
     ) -> None:
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"executor must be one of {EXECUTORS}, got {executor!r}"
+            )
         if callable(shards):
             count = default_shard_count() if n_shards is None else int(n_shards)
             if count < 1:
@@ -71,11 +137,20 @@ class ShardedAggregator:
                 raise ConfigurationError(
                     f"n_shards={n_shards} but {len(self._shards)} shards given"
                 )
-        # One single-worker executor per shard: batches for a shard run
-        # FIFO (deterministic per-shard RNG consumption), shards overlap.
-        self._executors = [
-            ThreadPoolExecutor(max_workers=1) for _ in self._shards
-        ]
+        self.executor = executor
+        if executor == "thread":
+            # One single-worker executor per shard: batches for a shard run
+            # FIFO (deterministic per-shard RNG consumption), shards overlap.
+            self._executors = [
+                ThreadPoolExecutor(max_workers=1) for _ in self._shards
+            ]
+            self._pool = None
+            self._pending = None
+        else:
+            self._executors = []
+            self._pool = ProcessPoolExecutor(max_workers=len(self._shards))
+            # Per-shard FIFO of (batch, future) awaiting the next drain.
+            self._pending = [[] for _ in self._shards]
         self._futures: list[Future] = []
         self._next = 0
         self._closed = False
@@ -105,6 +180,13 @@ class ShardedAggregator:
             raise ConfigurationError(
                 f"shard {shard} outside [0, {len(self._shards)})"
             )
+        if self._pending is not None:
+            # Process mode: queue locally; the batch ships at drain time
+            # (or when the future itself is awaited).
+            future: Future = _DeferredFuture(self._drain_process)
+            self._pending[shard].append((batch, future))
+            self._futures.append(future)
+            return future
         target = self._shards[shard]
         future = self._executors[shard].submit(target.ingest_batch, batch)
         self._futures.append(future)
@@ -121,9 +203,42 @@ class ShardedAggregator:
         """Block until all queued batches are ingested.
 
         Returns the summed batch sizes; re-raises the first shard error.
+        In process mode this is where the work happens: each shard's
+        queued batches ship to a pool worker together with the shard's
+        current state, and the returned state replaces it.
         """
+        if self._pending is not None:
+            self._futures = []
+            return self._drain_process()
         futures, self._futures = self._futures, []
         return sum(int(future.result() or 0) for future in futures)
+
+    def _drain_process(self) -> int:
+        remote = {}
+        for index, pending in enumerate(self._pending):
+            if pending:
+                batches = [batch for batch, _future in pending]
+                remote[index] = self._pool.submit(
+                    _ingest_into, self._shards[index], batches
+                )
+        total = 0
+        first_error = None
+        for index, future in remote.items():
+            pending, self._pending[index] = self._pending[index], []
+            try:
+                shard, sizes = future.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                for _batch, submit_future in pending:
+                    submit_future.set_exception(error)
+                first_error = first_error or error
+                continue
+            self._shards[index] = shard
+            for (_batch, submit_future), size in zip(pending, sizes):
+                submit_future.set_result(size)
+                total += size
+        if first_error is not None:
+            raise first_error
+        return total
 
     # ------------------------------------------------------------------
     # results
@@ -150,11 +265,15 @@ class ShardedAggregator:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Wait for queued work and release the worker threads."""
+        """Wait for queued work and release the workers."""
         if not self._closed:
+            if self._pending is not None and any(self._pending):
+                self._drain_process()
             self._closed = True
             for executor in self._executors:
                 executor.shutdown(wait=True)
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "ShardedAggregator":
         return self

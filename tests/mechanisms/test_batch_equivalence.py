@@ -1,0 +1,211 @@
+"""Report-plane batch/loop equivalence: for every oracle the columnar
+``aggregate_batch(privatize_many(values))`` path matches the per-report
+``privatize``/``aggregate`` loop — exactly where the kernels consume the
+generator identically, in distribution everywhere."""
+
+import numpy as np
+import pytest
+
+from repro.mechanisms import (
+    CorrelatedPerturbation,
+    GeneralizedRandomResponse,
+    HadamardResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    Rappor,
+    SymmetricUnaryEncoding,
+    ValidityPerturbation,
+    batch_support,
+    grouped_batch_support,
+)
+from repro.types import INVALID_ITEM
+
+EPS = 1.4
+
+ORACLES = {
+    "grr": lambda rng: GeneralizedRandomResponse(EPS, 12, rng=rng),
+    "oue": lambda rng: OptimizedUnaryEncoding(EPS, 9, rng=rng),
+    "sue": lambda rng: SymmetricUnaryEncoding(EPS, 9, rng=rng),
+    "olh": lambda rng: OptimalLocalHashing(EPS, 10, rng=rng),
+    "rappor": lambda rng: Rappor(4.0, 8, rng=rng),
+    "hr": lambda rng: HadamardResponse(EPS, 10, rng=rng),
+    "vp": lambda rng: ValidityPerturbation(EPS, 9, rng=rng),
+}
+
+
+def _values(mech, rng, n=400):
+    values = rng.integers(0, mech.domain_size, size=n)
+    if isinstance(mech, ValidityPerturbation):
+        values = np.where(rng.random(n) < 0.2, INVALID_ITEM, values)
+    return values
+
+
+class TestExactAggregation:
+    """aggregate is aggregate_batch: identical folds of identical reports."""
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_aggregate_batch_equals_per_report_aggregate(self, name):
+        rng = np.random.default_rng(11)
+        mech = ORACLES[name](rng)
+        values = _values(mech, np.random.default_rng(1))
+        reports = mech.privatize_many(values)
+        batched = mech.aggregate_batch(reports)
+        listed = mech.aggregate([np.asarray(r) for r in np.asarray(reports)])
+        np.testing.assert_array_equal(batched, listed)
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_accumulator_split_matches_aggregate_batch(self, name):
+        rng = np.random.default_rng(12)
+        mech = ORACLES[name](rng)
+        values = _values(mech, np.random.default_rng(2))
+        reports = np.asarray(mech.privatize_many(values))
+        acc = mech.accumulator()
+        acc.ingest_batch(reports[:150])
+        acc.ingest_batch(reports[150:])
+        np.testing.assert_array_equal(acc.support(), mech.aggregate_batch(reports))
+        assert acc.n == len(values)
+
+
+class TestDrawIdenticalKernels:
+    """The one-hot and Bloom kernels consume uniforms row-major, so the
+    batch is draw-for-draw the per-user loop on the same generator."""
+
+    @pytest.mark.parametrize("name", ["oue", "sue", "vp", "rappor"])
+    def test_privatize_many_equals_privatize_loop(self, name):
+        values = _values(ORACLES[name](np.random.default_rng(0)), np.random.default_rng(3), n=64)
+        batch = ORACLES[name](np.random.default_rng(42)).privatize_many(values)
+        looped_mech = ORACLES[name](np.random.default_rng(42))
+        looped = np.stack([looped_mech.privatize(int(v)) for v in values])
+        np.testing.assert_array_equal(np.asarray(batch), looped)
+
+
+class TestDistributionalEquivalence:
+    """Batch and loop paths induce the same estimate distribution
+    (seeded mean agreement, 5-sigma)."""
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_estimates_agree_in_mean(self, name):
+        probe = ORACLES[name](np.random.default_rng(0))
+        d = probe.domain_size
+        values = np.random.default_rng(4).integers(0, d, size=300)
+        n = values.size
+
+        batch_trials = []
+        for trial in range(40):
+            mech = ORACLES[name](np.random.default_rng(100 + trial))
+            batch_trials.append(
+                mech.estimate(mech.aggregate_batch(mech.privatize_many(values)), n)
+            )
+        loop_trials = []
+        for trial in range(20):
+            mech = ORACLES[name](np.random.default_rng(900 + trial))
+            reports = [mech.privatize(int(v)) for v in values]
+            loop_trials.append(mech.estimate(mech.aggregate(reports), n))
+        batch_trials = np.stack(batch_trials)
+        loop_trials = np.stack(loop_trials)
+        sigma = np.sqrt(
+            batch_trials.var(axis=0) / len(batch_trials)
+            + loop_trials.var(axis=0) / len(loop_trials)
+        )
+        diff = np.abs(batch_trials.mean(axis=0) - loop_trials.mean(axis=0))
+        assert (diff < 5 * sigma + 1e-9).all()
+
+    def test_correlated_estimates_agree_in_mean(self):
+        c, d, n = 3, 5, 400
+        rng = np.random.default_rng(5)
+        labels = rng.integers(0, c, size=n)
+        items = rng.integers(0, d, size=n)
+
+        def estimates(seed, batched):
+            mech = CorrelatedPerturbation(1.0, 1.0, n_classes=c, n_items=d,
+                                          rng=np.random.default_rng(seed))
+            if batched:
+                support = mech.aggregate_batch(mech.privatize_many(labels, items))
+            else:
+                reports = [mech.privatize(int(l), int(i)) for l, i in zip(labels, items)]
+                support = mech.aggregate(reports)
+            return mech.estimate(support)
+
+        batch_trials = np.stack([estimates(200 + t, True) for t in range(40)])
+        loop_trials = np.stack([estimates(700 + t, False) for t in range(20)])
+        sigma = np.sqrt(
+            batch_trials.var(axis=0) / len(batch_trials)
+            + loop_trials.var(axis=0) / len(loop_trials)
+        )
+        diff = np.abs(batch_trials.mean(axis=0) - loop_trials.mean(axis=0))
+        assert (diff < 5 * sigma + 1e-9).all()
+
+
+class TestEngine:
+    def test_blocked_batch_support_sums_to_full_population(self):
+        """Tiny blocks: every user reports exactly once."""
+        mech = GeneralizedRandomResponse(EPS, 6, rng=np.random.default_rng(6))
+        values = np.random.default_rng(7).integers(0, 6, size=500)
+        support = batch_support(mech, values, block_elements=16)
+        assert support.sum() == 500
+
+    def test_blocked_equals_unblocked_for_row_major_kernels(self):
+        """The one-hot kernel consumes uniforms row-major, so block
+        boundaries do not change the reports."""
+        values = np.random.default_rng(8).integers(0, 9, size=120)
+        blocked = batch_support(
+            OptimizedUnaryEncoding(EPS, 9, rng=np.random.default_rng(3)),
+            values,
+            block_elements=50,
+        )
+        whole = batch_support(
+            OptimizedUnaryEncoding(EPS, 9, rng=np.random.default_rng(3)),
+            values,
+            block_elements=10**9,
+        )
+        np.testing.assert_array_equal(blocked, whole)
+
+    def test_empty_batch_yields_typed_zeros(self):
+        mech = OptimizedUnaryEncoding(EPS, 7, rng=np.random.default_rng(9))
+        support = batch_support(mech, np.zeros(0, dtype=np.int64))
+        assert support.shape == (7,)
+        assert (support == 0).all()
+
+    def test_grouped_batch_support_rows_sum_to_group_sizes(self):
+        mech = OptimizedUnaryEncoding(8.0, 5, rng=np.random.default_rng(10))
+        rng = np.random.default_rng(11)
+        groups = rng.integers(0, 3, size=600)
+        values = rng.integers(0, 5, size=600)
+        out = grouped_batch_support(mech, groups, values, 3, block_elements=64)
+        assert out.shape == (3, 5)
+        # Each report's expected bit count is p + (d-1)q, so row sums track
+        # group sizes scaled by it.
+        sizes = np.bincount(groups, minlength=3)
+        per_report = mech.p + (mech.domain_size - 1) * mech.q
+        assert np.abs(out.sum(axis=1) - per_report * sizes).max() < 30
+
+
+class TestStreamingEstimateFromReports:
+    """estimate_from_reports counts users during aggregation and never
+    materialises the report iterable."""
+
+    def test_generator_input_matches_list_input(self):
+        mech = GeneralizedRandomResponse(EPS, 8, rng=np.random.default_rng(13))
+        values = np.random.default_rng(14).integers(0, 8, size=300)
+        reports = list(mech.privatize_many(values))
+        from_list = mech.estimate(mech.aggregate(reports), len(reports))
+        from_generator = mech.estimate_from_reports(
+            (r for r in reports), chunk_size=17
+        )
+        np.testing.assert_allclose(from_generator, from_list)
+
+    @pytest.mark.parametrize("name", sorted(ORACLES))
+    def test_every_oracle_estimates_from_a_lazy_iterable(self, name):
+        mech = ORACLES[name](np.random.default_rng(15))
+        values = _values(mech, np.random.default_rng(16), n=120)
+        reports = [np.asarray(r) for r in np.asarray(mech.privatize_many(values))]
+        out = mech.estimate_from_reports(iter(reports), chunk_size=7)
+        expected = mech.estimate(mech.aggregate(reports), len(reports))
+        np.testing.assert_allclose(out, expected)
+
+    def test_ndarray_input_short_circuits(self):
+        mech = OptimizedUnaryEncoding(EPS, 6, rng=np.random.default_rng(17))
+        reports = mech.privatize_many(np.arange(6).repeat(10))
+        out = mech.estimate_from_reports(reports)
+        expected = mech.estimate(mech.aggregate_batch(reports), 60)
+        np.testing.assert_allclose(out, expected)

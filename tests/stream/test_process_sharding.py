@@ -1,0 +1,78 @@
+"""ShardedAggregator process executor: picklable shard states round-trip
+through a process pool and produce the same counts as the thread path."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.mechanisms import GeneralizedRandomResponse
+from repro.rng import spawn
+from repro.stream import ShardedAggregator, make_session
+
+
+def _report_batches(rng, n_batches=6, size=2000, d=16):
+    mech = GeneralizedRandomResponse(1.0, d, rng=rng)
+    return [mech.privatize_many(rng.integers(0, d, size)) for _ in range(n_batches)], mech
+
+
+class TestProcessExecutor:
+    def test_rejects_unknown_executor(self):
+        with pytest.raises(ConfigurationError):
+            ShardedAggregator([object()], executor="fiber")
+
+    def test_accumulator_counts_match_thread_executor_exactly(self):
+        batches, mech = _report_batches(np.random.default_rng(0))
+        supports = {}
+        for executor in ("thread", "process"):
+            with ShardedAggregator(
+                mech.accumulator, n_shards=3, executor=executor
+            ) as aggregator:
+                futures = [aggregator.submit(batch) for batch in batches]
+                total = aggregator.drain()
+                merged = aggregator.merged()
+            assert total == sum(len(b) for b in batches)
+            assert all(future.result() == len(b) for future, b in zip(futures, batches))
+            supports[executor] = merged.support()
+            assert merged.n == total
+        np.testing.assert_array_equal(supports["thread"], supports["process"])
+
+    def test_sessions_ingest_and_estimate_through_the_pool(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 3, 24_000)
+        items = rng.integers(0, 16, 24_000)
+        sessions = [
+            make_session("pts", epsilon=2.0, n_classes=3, n_items=16, rng=child)
+            for child in spawn(rng, 2)
+        ]
+        with ShardedAggregator(sessions, executor="process") as aggregator:
+            for start in range(0, 24_000, 4_000):
+                aggregator.submit(
+                    (labels[start : start + 4_000], items[start : start + 4_000])
+                )
+            merged = aggregator.merged()
+        assert merged.n_ingested == 24_000
+        assert merged.estimate().shape == (3, 16)
+
+    def test_waiting_on_a_submit_future_triggers_the_drain(self):
+        """The thread-mode contract holds: submit(...).result() works
+        without an explicit drain()."""
+        batches, mech = _report_batches(np.random.default_rng(4), n_batches=3)
+        with ShardedAggregator(mech.accumulator, n_shards=2, executor="process") as agg:
+            futures = [agg.submit(batch) for batch in batches]
+            assert futures[0].result() == len(batches[0])
+            assert all(f.result() == len(b) for f, b in zip(futures, batches))
+            assert agg.merged().n == sum(len(b) for b in batches)
+
+    def test_close_drains_pending_batches(self):
+        batches, mech = _report_batches(np.random.default_rng(2), n_batches=2)
+        aggregator = ShardedAggregator(mech.accumulator, n_shards=2, executor="process")
+        futures = [aggregator.submit(batch) for batch in batches]
+        aggregator.close()
+        assert all(future.result() == len(b) for future, b in zip(futures, batches))
+
+    def test_shard_errors_propagate(self):
+        mech = GeneralizedRandomResponse(1.0, 4, rng=np.random.default_rng(3))
+        with ShardedAggregator(mech.accumulator, n_shards=1, executor="process") as agg:
+            agg.submit(np.asarray([99]))  # outside the domain
+            with pytest.raises(Exception):
+                agg.drain()

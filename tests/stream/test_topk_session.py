@@ -1,0 +1,151 @@
+"""OnlineTopKSession: round-by-round streaming top-k mining."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DomainError, ProtocolError
+from repro.stream import OnlineTopKSession
+
+
+def _planted_stream(rng, c=3, d=256, n=90_000, weight=0.6):
+    heavy = {label: [(label * 37 + j * 11) % d for j in range(3)] for label in range(c)}
+    labels = rng.integers(0, c, n)
+    items = rng.integers(0, d, n)
+    for label, hitters in heavy.items():
+        index = np.flatnonzero(labels == label)
+        take = index[: int(weight * index.size)]
+        items[take] = rng.choice(hitters, size=take.size)
+    return labels, items, heavy
+
+
+class TestConfiguration:
+    def test_round_schedule_matches_pem(self):
+        session = OnlineTopKSession(k=4, epsilon=2.0, n_classes=2, n_items=256)
+        from repro.core.topk import pem_iteration_count
+
+        assert session.n_rounds == pem_iteration_count(256, 4)
+
+    def test_small_domain_single_round(self):
+        session = OnlineTopKSession(k=8, epsilon=2.0, n_classes=2, n_items=10)
+        assert session.n_rounds == 1
+        assert session.depth == session.total_bits
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(k=0),
+            dict(extension_bits=0),
+            dict(invalid_mode="nope"),
+            dict(mode="nope"),
+            dict(keep=0),
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        base = dict(k=2, epsilon=1.0, n_classes=2, n_items=16)
+        base.update(kwargs)
+        with pytest.raises((ConfigurationError, DomainError)):
+            OnlineTopKSession(**base)
+
+    def test_rejects_bad_batches(self):
+        session = OnlineTopKSession(k=2, epsilon=1.0, n_classes=2, n_items=16)
+        with pytest.raises(DomainError):
+            session.ingest_batch([0, 1], [0])
+        with pytest.raises(DomainError):
+            session.ingest_batch([0, 5], [0, 1])
+        with pytest.raises(DomainError):
+            session.ingest_batch([0, 1], [0, 99])
+
+
+class TestMining:
+    @pytest.mark.parametrize("mode", ["simulate", "protocol"])
+    def test_recovers_planted_heavy_hitters(self, mode):
+        rng = np.random.default_rng(8)
+        labels, items, heavy = _planted_stream(rng)
+        session = OnlineTopKSession(
+            k=3, epsilon=4.0, n_classes=3, n_items=256, mode=mode,
+            rng=np.random.default_rng(21),
+        )
+        mined = session.run(labels, items)
+        assert session.finished
+        for label, hitters in heavy.items():
+            assert set(mined[label]) == set(hitters)
+
+    @pytest.mark.parametrize("invalid_mode", ["vp", "random"])
+    def test_invalid_modes_both_mine(self, invalid_mode):
+        rng = np.random.default_rng(9)
+        labels, items, heavy = _planted_stream(rng, d=64, n=60_000, weight=0.7)
+        session = OnlineTopKSession(
+            k=3, epsilon=4.0, n_classes=3, n_items=64,
+            invalid_mode=invalid_mode, rng=np.random.default_rng(5),
+        )
+        mined = session.run(labels, items)
+        hits = sum(
+            len(set(mined[label]) & set(hitters)) for label, hitters in heavy.items()
+        )
+        assert hits >= 7  # of 9 planted items
+
+    def test_single_class_spends_whole_budget_on_items(self):
+        session = OnlineTopKSession(k=2, epsilon=3.0, n_classes=1, n_items=32)
+        assert session.epsilon2 == 3.0
+        rng = np.random.default_rng(3)
+        items = np.concatenate([np.full(30_000, 7), rng.integers(0, 32, 6_000)])
+        labels = np.zeros(items.size, dtype=np.int64)
+        mined = session.run(labels, items)
+        assert mined[0][0] == 7
+
+
+class TestRoundControl:
+    def test_midstream_topk_and_depth_progression(self):
+        rng = np.random.default_rng(4)
+        labels, items, _heavy = _planted_stream(rng, n=30_000)
+        session = OnlineTopKSession(
+            k=3, epsilon=4.0, n_classes=3, n_items=256, rng=np.random.default_rng(2)
+        )
+        depth0 = session.depth
+        session.ingest_batch(labels[:5000], items[:5000])
+        preview = session.topk(2)
+        assert set(preview) == {0, 1, 2}
+        assert all(len(v) <= 2 for v in preview.values())
+        assert all(0 <= p < (1 << session.depth) for v in preview.values() for p in v)
+        session.advance_round()
+        assert session.depth == depth0 + session.extension_bits
+        assert session.round == 1
+        assert session.round_ingested == 0
+        assert session.n_ingested == 5000
+
+    def test_finished_session_rejects_data_and_advances(self):
+        session = OnlineTopKSession(k=2, epsilon=2.0, n_classes=2, n_items=4)
+        assert session.n_rounds == 1
+        session.ingest_batch([0, 1], [3, 2])
+        session.advance_round()
+        assert session.finished
+        assert set(session.topk()) == {0, 1}
+        # Post-finish topk honours any k, like the mid-stream query.
+        assert all(len(v) == 2 for v in session.topk().values())
+        assert all(len(v) == 4 for v in session.topk(9).values())
+        with pytest.raises(ProtocolError):
+            session.ingest_batch([0], [1])
+        with pytest.raises(ProtocolError):
+            session.advance_round()
+        with pytest.raises(ProtocolError):
+            session.run([0], [1])
+
+    def test_frontier_is_a_copy(self):
+        session = OnlineTopKSession(k=2, epsilon=2.0, n_classes=2, n_items=64)
+        frontier = session.frontier(0)
+        frontier[:] = -1
+        assert (session.frontier(0) >= 0).all()
+
+    def test_simulate_and_protocol_agree_on_an_easy_stream(self):
+        """Both execution modes find the same dominant item."""
+        rng = np.random.default_rng(6)
+        items = np.concatenate([np.full(40_000, 13), rng.integers(0, 64, 8_000)])
+        labels = rng.integers(0, 2, items.size)
+        for mode in ("simulate", "protocol"):
+            session = OnlineTopKSession(
+                k=1, epsilon=4.0, n_classes=2, n_items=64, mode=mode,
+                rng=np.random.default_rng(31),
+            )
+            mined = session.run(labels, items)
+            assert mined[0] == [13]
+            assert mined[1] == [13]

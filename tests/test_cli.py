@@ -88,6 +88,50 @@ class TestCLI:
         assert main(["table1", "--users", "1000"]) == 2
         assert "--users" in capsys.readouterr().err
 
+    def test_stream_only_flags_rejected_for_protocol(self, capsys):
+        assert main(["protocol", "--shards", "2"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_list_mentions_protocol(self, capsys):
+        assert main(["--list"]) == 0
+        assert "protocol" in capsys.readouterr().out
+
+    def test_protocol_subcommand(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_protocol.json"
+        monkeypatch.setenv("REPRO_BENCH_PROTOCOL_ARTIFACT", str(artifact))
+        assert main(["protocol", "--quick", "--users", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "users/sec" in out
+        assert (tmp_path / "protocol.txt").exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["n_users"] == 4000
+        assert set(payload["frameworks"]) == {"hec", "ptj", "pts", "pts-cp"}
+        for stats in payload["frameworks"].values():
+            assert stats["users_per_sec"] > 0
+            assert stats["baseline_users_per_sec"] > 0
+
+    def test_stream_executor_flag(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_stream.json"
+        monkeypatch.setenv("REPRO_BENCH_STREAM_ARTIFACT", str(artifact))
+        assert (
+            main(
+                [
+                    "stream", "--users", "8000", "--batch-size", "4000",
+                    "--shards", "2", "--executor", "process",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(artifact.read_text())
+        assert payload["executor"] == "process"
+        assert payload["total_reports"] == 4 * 8000
+
     def test_stream_honors_scale_env(self, capsys, tmp_path, monkeypatch):
         import json
 
