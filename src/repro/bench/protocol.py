@@ -27,7 +27,7 @@ from ..core.frameworks import make_framework
 from ..datasets import LabelItemDataset
 from ..exceptions import ConfigurationError
 from ..metrics import rmse
-from ..rng import ensure_rng
+from ..rng import RngLike, ensure_rng, spawn
 from ..stream import make_session
 from .reporting import artifact_path, format_table
 
@@ -55,7 +55,7 @@ def _looped_rate(
     epsilon: float,
     n_classes: int,
     n_items: int,
-    seed: int,
+    rng: RngLike,
 ) -> float:
     """Users/sec of the per-user dispatch baseline on a small sample.
 
@@ -70,7 +70,7 @@ def _looped_rate(
         n_classes=n_classes,
         n_items=n_items,
         mode="protocol",
-        rng=np.random.default_rng(seed),
+        rng=rng,
     )
     start = time.perf_counter()
     for user in range(sample):
@@ -110,20 +110,24 @@ def run_protocol_benchmark(
     rows = []
     per_framework: dict[str, dict] = {}
     for name in frameworks:
+        # One spawned child per role so framework runs and looped baselines
+        # never share a stream (or the data-generation stream) across
+        # frameworks, yet the whole bench replays from the single --seed.
+        framework_rng, baseline_rng = spawn(rng, 2)
         framework = make_framework(
             name,
             epsilon=epsilon,
             n_classes=c,
             n_items=d,
             mode="protocol",
-            rng=np.random.default_rng(seed + 1),
+            rng=framework_rng,
         )
         start = time.perf_counter()
         estimate = framework.estimate_frequencies(dataset)
         elapsed = time.perf_counter() - start
         users_per_sec = n / elapsed if elapsed > 0 else float("inf")
         error = float(rmse(estimate, truth))
-        baseline = _looped_rate(name, labels, items, epsilon, c, d, seed + 2)
+        baseline = _looped_rate(name, labels, items, epsilon, c, d, baseline_rng)
         speedup = users_per_sec / baseline if baseline > 0 else float("inf")
         rows.append(
             [

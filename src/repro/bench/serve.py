@@ -1,0 +1,217 @@
+"""Report-collection service throughput benchmark.
+
+Starts an in-process :class:`~repro.serve.collector.ReportCollector` on
+localhost and replays a synthetic report population through
+:func:`~repro.serve.client.generate_load` across a grid of connection
+counts and per-frame batch sizes, measuring sustained wire-to-state
+ingestion (reports/sec) and the end-of-stream estimation error against
+ground truth.  Each grid cell streams the full population through a
+fresh collector, so cells are independent measurements.
+
+Besides the text table the run emits a machine-readable
+``BENCH_serve.json`` (repo root by default; override with
+``REPRO_BENCH_SERVE_ARTIFACT``), the service counterpart of
+``BENCH_stream.json`` / ``BENCH_protocol.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..metrics import rmse
+from ..rng import ensure_rng, spawn_seeds
+from .reporting import artifact_path, format_table
+
+#: Workload parameters per scale.
+SCALES = {
+    "quick": dict(
+        n_users=240_000,
+        n_classes=5,
+        n_items=256,
+        connections=(1, 4, 8),
+        batch_size=4096,
+        shards=2,
+    ),
+    "full": dict(
+        n_users=2_000_000,
+        n_classes=5,
+        n_items=1024,
+        connections=(1, 4, 8, 16),
+        batch_size=16_384,
+        shards=4,
+    ),
+}
+
+
+def _artifact_path() -> Path:
+    return artifact_path("REPRO_BENCH_SERVE_ARTIFACT", "BENCH_serve.json")
+
+
+def _synthetic_population(
+    n_users: int, n_classes: int, n_items: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    ranks = np.arange(1, n_items + 1, dtype=np.float64)
+    item_probs = ranks**-1.05
+    item_probs /= item_probs.sum()
+    class_probs = rng.dirichlet(np.full(n_classes, 5.0))
+    labels = rng.choice(n_classes, size=n_users, p=class_probs)
+    items = rng.choice(n_items, size=n_users, p=item_probs)
+    return labels, items
+
+
+async def _run_cell(
+    labels: np.ndarray,
+    items: np.ndarray,
+    config: dict,
+    n_connections: int,
+    chunk_size: int,
+    shards: int,
+) -> dict:
+    from ..serve import ReportClient, ReportCollector, generate_load
+
+    async with ReportCollector(default_shards=shards) as collector:
+        load = await asyncio.wait_for(
+            generate_load(
+                collector.host,
+                collector.port,
+                config,
+                labels,
+                items,
+                n_connections=n_connections,
+                chunk_size=chunk_size,
+            ),
+            timeout=600,
+        )
+        querier = await ReportClient.connect(
+            collector.host, collector.port, **config
+        )
+        async with querier:
+            estimate = await querier.estimate()
+    load["estimate"] = estimate
+    return load
+
+
+def run_serve_benchmark(
+    scale: str = "quick",
+    seed: int = 0,
+    n_users: Optional[int] = None,
+    n_connections: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    n_shards: Optional[int] = None,
+    epsilon: float = 1.0,
+    framework: str = "pts",
+    mode: str = "simulate",
+    artifact: Optional[str] = None,
+) -> tuple[str, dict]:
+    """Run the serve benchmark; returns ``(report, artifact_payload)``.
+
+    Explicit ``n_users`` / ``n_connections`` / ``chunk_size`` /
+    ``n_shards`` override the scale's defaults (a single connection count
+    replaces the grid).
+    """
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    params = dict(SCALES[scale])
+    if n_users is not None:
+        params["n_users"] = int(n_users)
+    if chunk_size is not None:
+        params["batch_size"] = int(chunk_size)
+    if n_shards is not None:
+        params["shards"] = int(n_shards)
+    connection_grid: Sequence[int] = (
+        (int(n_connections),) if n_connections is not None else params["connections"]
+    )
+    n, c, d = params["n_users"], params["n_classes"], params["n_items"]
+    batch = params["batch_size"]
+    shards = params["shards"]
+    if n < 1 or batch < 1 or shards < 1 or min(connection_grid) < 1:
+        raise ConfigurationError(
+            "n_users, batch_size, shards and connections must be positive"
+        )
+
+    rng = ensure_rng(seed)
+    labels, items = _synthetic_population(n, c, d, rng)
+    truth = np.bincount(labels * d + items, minlength=c * d).reshape(c, d)
+    # One spawned session seed per grid cell, all derived from --seed.
+    cell_seeds = spawn_seeds(rng, len(connection_grid))
+
+    rows = []
+    cells = []
+    best = 0.0
+    for n_conn, cell_seed in zip(connection_grid, cell_seeds):
+        config = dict(
+            session="bench",
+            framework=framework,
+            epsilon=epsilon,
+            n_classes=c,
+            n_items=d,
+            mode=mode,
+            seed=cell_seed,
+            shards=shards,
+        )
+        load = asyncio.run(
+            _run_cell(labels, items, config, n_conn, batch, shards)
+        )
+        error = float(rmse(load.pop("estimate"), truth))
+        best = max(best, load["reports_per_sec"])
+        rows.append(
+            [
+                n_conn,
+                batch,
+                load["reports"],
+                f"{load['elapsed_sec']:.2f}",
+                f"{load['reports_per_sec']:,.0f}",
+                round(error, 1),
+            ]
+        )
+        cells.append(
+            {
+                "connections": n_conn,
+                "batch_size": batch,
+                "reports": load["reports"],
+                "elapsed_sec": load["elapsed_sec"],
+                "reports_per_sec": load["reports_per_sec"],
+                "rmse": error,
+            }
+        )
+
+    payload = {
+        "scale": scale,
+        "seed": seed,
+        "framework": framework,
+        "mode": mode,
+        "epsilon": epsilon,
+        "n_users": n,
+        "n_classes": c,
+        "n_items": d,
+        "n_shards": shards,
+        "cells": cells,
+        "max_reports_per_sec": best,
+    }
+    artifact_file = Path(artifact) if artifact is not None else _artifact_path()
+    try:
+        artifact_file.write_text(json.dumps(payload, indent=2) + "\n")
+        artifact_note = f"artifact: {artifact_file}"
+    except OSError as error:
+        artifact_note = f"artifact not written ({error})"
+
+    report = format_table(
+        f"Report-collection service throughput (scale={scale}, "
+        f"framework={framework}, c={c}, d={d}, eps={epsilon}, "
+        f"shards={shards}, mode={mode})",
+        ["connections", "batch", "reports", "sec", "reports/sec", "RMSE"],
+        rows,
+        note=(
+            f"localhost asyncio collector; peak {best:,.0f} reports/sec; "
+            f"{artifact_note}"
+        ),
+    )
+    return report, payload

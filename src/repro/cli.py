@@ -1,5 +1,6 @@
-"""Command-line entry point: regenerate the paper's tables and figures,
-and run the streaming / protocol throughput benchmarks.
+"""Command-line entry points: regenerate the paper's tables and figures,
+run the streaming / protocol / serve throughput benchmarks, and host the
+standalone report collector.
 
 Examples::
 
@@ -9,7 +10,10 @@ Examples::
     repro-bench all
     repro-bench stream --scale quick --shards 4 --executor process
     repro-bench protocol --quick
+    repro-bench serve --users 120000 --connections 8
     python -m repro fig6           # equivalent module form
+    repro-serve --port 9009        # standalone collector
+    python -m repro.serve          # equivalent module form
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from .bench.experiments import EXPERIMENTS, run_experiment
 from .bench.reporting import bench_scale, emit
 
 #: Benchmark pseudo-experiments with their own option groups.
-BENCHES = ("stream", "protocol")
+BENCHES = ("stream", "protocol", "serve")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,8 +42,9 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help=(
             f"experiment id ({', '.join(sorted(EXPERIMENTS))}), 'all', "
-            "'stream' (streaming ingestion benchmark), or 'protocol' "
-            "(protocol-mode throughput benchmark)"
+            "'stream' (streaming ingestion benchmark), 'protocol' "
+            "(protocol-mode throughput benchmark), or 'serve' "
+            "(report-collection service benchmark)"
         ),
     )
     parser.add_argument(
@@ -63,21 +68,31 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--users", type=int, default=None, help="population override (reports/users)"
     )
-    stream = parser.add_argument_group("stream benchmark options")
+    stream = parser.add_argument_group("stream/serve benchmark options")
     stream.add_argument(
         "--shards",
         type=int,
         default=None,
-        help="worker shards (default: one per CPU, capped at 8)",
+        help="worker shards (stream default: one per CPU, capped at 8)",
     )
     stream.add_argument(
-        "--batch-size", type=int, default=None, help="reports per ingested batch"
+        "--batch-size",
+        type=int,
+        default=None,
+        help="reports per ingested batch (serve: reports per wire frame)",
     )
     stream.add_argument(
         "--executor",
         choices=("thread", "process"),
         default=None,
         help="shard executor: per-shard threads (default) or a process pool",
+    )
+    serve = parser.add_argument_group("serve benchmark options")
+    serve.add_argument(
+        "--connections",
+        type=int,
+        default=None,
+        help="client connection count (default: the scale's grid)",
     )
     return parser
 
@@ -91,11 +106,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  {name:8s} {doc}")
         print("  stream   Streaming ingestion throughput benchmark (reports/sec).")
         print("  protocol Protocol-mode throughput benchmark (users/sec).")
+        print("  serve    Report-collection service benchmark (reports/sec).")
         return 0
     flag_scopes = (
-        ("--shards", args.shards, ("stream",)),
-        ("--batch-size", args.batch_size, ("stream",)),
+        ("--shards", args.shards, ("stream", "serve")),
+        ("--batch-size", args.batch_size, ("stream", "serve")),
         ("--executor", args.executor, ("stream",)),
+        ("--connections", args.connections, ("serve",)),
         ("--users", args.users, BENCHES),
     )
     bad_flags = [
@@ -133,12 +150,96 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         emit("protocol", report)
         return 0
+    if args.experiment == "serve":
+        from .bench.serve import run_serve_benchmark
+
+        report, _payload = run_serve_benchmark(
+            scale=args.scale or bench_scale(),
+            seed=args.seed,
+            n_users=args.users,
+            n_connections=args.connections,
+            chunk_size=args.batch_size,
+            n_shards=args.shards,
+        )
+        emit("serve", report)
+        return 0
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         if name not in EXPERIMENTS:
             print(f"unknown experiment {name!r}; use --list", file=sys.stderr)
             return 2
         emit(name, run_experiment(name, scale=args.scale, seed=args.seed))
+    return 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Host the asyncio LDP report collector: clients handshake a "
+            "session config and stream one report per user; estimates are "
+            "queryable mid-stream over the same connection."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=9009, help="bind port (0: OS-assigned)"
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="default aggregation shards per hosted session",
+    )
+    parser.add_argument(
+        "--flush-reports",
+        type=int,
+        default=8192,
+        help="micro-batch size drained into the aggregation plane",
+    )
+    parser.add_argument(
+        "--high-water",
+        type=int,
+        default=262_144,
+        help="unprocessed-report ceiling before connections pause reading",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.05,
+        help="background buffer sweep period in seconds",
+    )
+    return parser
+
+
+def serve_main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the standalone collector until interrupted (``repro-serve``)."""
+    import asyncio
+
+    from .serve import ReportCollector
+
+    args = build_serve_parser().parse_args(argv)
+
+    async def _serve() -> None:
+        collector = ReportCollector(
+            host=args.host,
+            port=args.port,
+            flush_interval=args.flush_interval,
+            default_shards=args.shards,
+            flush_reports=args.flush_reports,
+            high_water=args.high_water,
+        )
+        await collector.start()
+        print(f"repro-serve: collecting reports on {collector.host}:{collector.port}")
+        try:
+            await collector.serve_forever()
+        finally:
+            await collector.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("repro-serve: stopped")
     return 0
 
 

@@ -22,6 +22,8 @@ from typing import Iterator, Optional, Union
 
 import numpy as np
 
+from ..exceptions import ConfigurationError
+
 #: How many report bits one privatised block may materialise at once.
 BLOCK_ELEMENTS = 2_000_000
 
@@ -30,8 +32,19 @@ def batch_spans(
     n_values: int, width: int, block_elements: Optional[int] = None
 ) -> Iterator[slice]:
     """Slices covering ``n_values`` rows in blocks of ``~block_elements``
-    total cells for rows of ``width`` cells each."""
+    total cells for rows of ``width`` cells each.
+
+    A ``block_elements`` cap smaller than one row's ``width`` degrades to
+    one row per block (a block always holds at least one whole row); the
+    final block simply covers the remainder when ``n_values`` is not a
+    multiple of the block's row count.  The serve layer reuses these spans
+    to cut concatenated socket batches into bounded ingest batches.
+    """
     cap = BLOCK_ELEMENTS if block_elements is None else int(block_elements)
+    if cap < 1:
+        raise ConfigurationError(
+            f"block_elements must be >= 1, got {block_elements!r}"
+        )
     rows = max(1, cap // max(1, int(width)))
     for start in range(0, int(n_values), rows):
         yield slice(start, start + rows)

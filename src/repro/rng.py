@@ -28,17 +28,29 @@ def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
-    """Derive ``n`` statistically independent child generators from ``rng``.
+def spawn_seeds(rng: np.random.Generator, n: int) -> list[int]:
+    """Draw ``n`` independent integer spawn keys from ``rng``.
 
-    The children are seeded from draws of the parent, so a run is fully
-    determined by the parent's seed while sub-components (e.g. one per
-    trial) do not share streams.
+    Spawn keys are the serialisable form of :func:`spawn`: benches and
+    multi-worker paths (shards, pool workers, socket connections) derive
+    one key per worker from the single base seed instead of reusing that
+    seed — or fixed offsets of it — across workers, so worker streams
+    never collide while the whole run stays reproducible from one seed.
     """
     if n < 0:
         raise ValueError(f"cannot spawn a negative number of generators: {n}")
     seeds = rng.integers(0, 2**63 - 1, size=n, dtype=np.int64)
-    return [np.random.default_rng(int(s)) for s in seeds]
+    return [int(s) for s in seeds]
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` statistically independent child generators from ``rng``.
+
+    The children are seeded from :func:`spawn_seeds` draws of the parent,
+    so a run is fully determined by the parent's seed while sub-components
+    (e.g. one per trial) do not share streams.
+    """
+    return [np.random.default_rng(s) for s in spawn_seeds(rng, n)]
 
 
 def derive_seed(rng: np.random.Generator) -> int:

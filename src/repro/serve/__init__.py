@@ -1,0 +1,56 @@
+"""Async report-collection service — the network front-end of the
+unified report plane.
+
+The paper's deployment model is a collector receiving one privatised
+report per user over the wire; this subpackage is that collector, built
+on asyncio over the streaming and engine layers:
+
+* :mod:`~repro.serve.protocol` — the length-prefixed wire codec: a JSON
+  HELLO handshake carrying the session config, packed binary
+  ``(class_label, report)`` REPORTS frames, and a JSON control channel.
+* :mod:`~repro.serve.registry` — :class:`SessionRegistry` hosting many
+  concurrent cohorts (:class:`HostedSession`): per-class micro-batch
+  buffers, high/low-water backpressure, and mid-stream queries over
+  :mod:`repro.stream.drain` adapters.
+* :mod:`~repro.serve.collector` — :class:`ReportCollector`, the
+  ``asyncio.start_server`` loop speaking the protocol.
+* :mod:`~repro.serve.client` — :class:`ReportClient` and the
+  :func:`generate_load` population simulator.
+
+Quickstart (one process; see ``examples/report_service.py``)::
+
+    import asyncio, numpy as np
+    from repro.serve import ReportCollector, ReportClient
+
+    async def main():
+        async with ReportCollector() as collector:
+            client = await ReportClient.connect(
+                collector.host, collector.port,
+                session="demo", framework="pts", epsilon=2.0,
+                n_classes=3, n_items=64, seed=7,
+            )
+            async with client:
+                await client.send(labels, items)
+                estimate = await client.estimate()   # mid-stream query
+
+    asyncio.run(main())
+
+Run a standalone collector with ``repro-serve`` (``python -m
+repro.serve``) and benchmark throughput with ``repro-bench serve``.
+"""
+
+from .client import ReportClient, generate_load
+from .collector import ReportCollector
+from .protocol import ServeError, WireError
+from .registry import HostedSession, SessionRegistry, canonical_config
+
+__all__ = [
+    "HostedSession",
+    "ReportClient",
+    "ReportCollector",
+    "ServeError",
+    "SessionRegistry",
+    "WireError",
+    "canonical_config",
+    "generate_load",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.serve`` — the standalone collector (repro-serve)."""
+
+from ..cli import serve_main
+
+if __name__ == "__main__":
+    raise SystemExit(serve_main())

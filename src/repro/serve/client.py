@@ -1,0 +1,202 @@
+"""Asyncio report client and load generator.
+
+:class:`ReportClient` is the user-side half of the wire protocol: it
+handshakes a session config, streams ``(label, item)`` reports in
+REPORTS frames, and drives the control channel (``estimate`` / ``topk``
+/ ``class_sizes`` / ``stats`` / ``advance_round``) mid-stream.  One
+client maps to one TCP connection; many clients may feed the same
+session id concurrently — the paper's one-report-per-user collection is
+``n`` clients each sending a single report, and
+:func:`generate_load` simulates exactly that population at a
+configurable connection count and chunking.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Optional
+
+import numpy as np
+
+from . import protocol
+from .protocol import ServeError
+
+
+class ReportClient:
+    """One collector connection bound to one session id.
+
+    Build with :meth:`connect` (or ``async with ReportClient.session(...)``
+    via the context-manager form), stream with :meth:`send`, query any
+    time, and :meth:`close` to settle — the collector answers with the
+    connection's ingested-report count.
+    """
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        config: dict,
+        hello: dict,
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self.config = config
+        self.session_id = config["session"]
+        #: The collector's handshake reply (``created`` flag, kind).
+        self.hello = hello
+        self._closed = False
+
+    @classmethod
+    async def connect(cls, host: str, port: int, **config) -> "ReportClient":
+        """Open a connection and handshake ``config`` onto its session.
+
+        ``config`` holds the handshake keys (``session``, ``framework`` or
+        ``kind="topk"``, ``epsilon``, ``n_classes``, ``n_items``, optional
+        ``mode`` / ``seed`` / ``shards`` / decay knobs); ``None`` values
+        are elided so server defaults apply.
+        """
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            reply = await protocol.request(
+                reader, writer, protocol.hello_frame(config)
+            )
+        except BaseException:
+            writer.close()
+            raise
+        return cls(reader, writer, config, reply["result"])
+
+    # ------------------------------------------------------------------
+    # streaming
+    # ------------------------------------------------------------------
+    async def send(self, labels, items, chunk_size: Optional[int] = None) -> int:
+        """Stream aligned report columns; returns the report count sent.
+
+        Large populations are cut into ``chunk_size`` reports per frame
+        (default: one maximal frame), with the writer's own flow control
+        awaited between frames so collector backpressure propagates here.
+        """
+        labels = np.asarray(labels).ravel()
+        items = np.asarray(items).ravel()
+        if labels.shape != items.shape:
+            raise ServeError(
+                f"labels ({labels.shape}) and items ({items.shape}) must align"
+            )
+        for span in protocol.chunk_spans(labels.size, chunk_size):
+            self._writer.write(protocol.encode_reports(labels[span], items[span]))
+            await self._writer.drain()
+        return int(labels.size)
+
+    async def send_one(self, label: int, item: int) -> None:
+        """One user's single report (the literal protocol message)."""
+        await self.send(np.array([label]), np.array([item]))
+
+    # ------------------------------------------------------------------
+    # control channel
+    # ------------------------------------------------------------------
+    async def query(self, query: str, **params):
+        """Raw control query; returns the reply's ``result`` field."""
+        reply = await protocol.request(
+            self._reader, self._writer, protocol.query_frame(query, **params)
+        )
+        return reply["result"]
+
+    async def estimate(self) -> np.ndarray:
+        """The served session's ``(c, d)`` pair-count estimate so far."""
+        return np.asarray(await self.query("estimate"), dtype=np.float64)
+
+    async def topk(self, k: Optional[int] = None) -> dict[int, list[int]]:
+        result = await self.query("topk", k=k)
+        return {int(label): list(ids) for label, ids in result.items()}
+
+    async def class_sizes(self) -> np.ndarray:
+        return np.asarray(await self.query("class_sizes"), dtype=np.float64)
+
+    async def stats(self) -> dict:
+        return await self.query("stats")
+
+    async def advance_round(self) -> dict:
+        """Advance a hosted top-k session's mining round (control plane)."""
+        return await self.query("advance_round")
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def close(self) -> int:
+        """Settle and close; returns the connection's ingested count."""
+        if self._closed:
+            return 0
+        self._closed = True
+        try:
+            reply = await protocol.request(
+                self._reader, self._writer, protocol.bye_frame()
+            )
+            return int(reply["result"]["ingested"])
+        finally:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    def abort(self) -> None:
+        """Drop the connection without settling (error paths only)."""
+        self._closed = True
+        self._writer.close()
+
+    async def __aenter__(self) -> "ReportClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def generate_load(
+    host: str,
+    port: int,
+    config: dict,
+    labels,
+    items,
+    n_connections: int = 4,
+    chunk_size: int = 4096,
+) -> dict:
+    """Simulate a report population: ``n_connections`` concurrent clients
+    each stream a contiguous slice of ``(labels, items)`` — one privatised
+    report per simulated user — into the same session.
+
+    Returns ``{"reports", "elapsed_sec", "reports_per_sec",
+    "n_connections"}``; the per-connection ingested counts confirmed at
+    BYE must sum to the population, so a lost report fails loudly here.
+    """
+    labels = np.asarray(labels).ravel()
+    items = np.asarray(items).ravel()
+    if n_connections < 1:
+        raise ServeError(f"n_connections must be >= 1, got {n_connections}")
+    slices = np.array_split(np.arange(labels.size), n_connections)
+
+    async def one_connection(part) -> int:
+        client = await ReportClient.connect(host, port, **config)
+        try:
+            await client.send(labels[part], items[part], chunk_size=chunk_size)
+        except BaseException:
+            client.abort()
+            raise
+        return await client.close()
+
+    start = time.perf_counter()
+    ingested = await asyncio.gather(
+        *(one_connection(part) for part in slices)
+    )
+    elapsed = time.perf_counter() - start
+    total = int(sum(ingested))
+    if total != labels.size:
+        raise ServeError(
+            f"population of {labels.size} reports but collector confirmed "
+            f"{total}"
+        )
+    return {
+        "reports": total,
+        "elapsed_sec": elapsed,
+        "reports_per_sec": total / elapsed if elapsed > 0 else float("inf"),
+        "n_connections": int(n_connections),
+    }

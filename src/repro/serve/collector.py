@@ -1,0 +1,218 @@
+"""The asyncio report collector — the network-facing ingestion front-end.
+
+:class:`ReportCollector` listens with :func:`asyncio.start_server` and
+speaks the frame protocol of :mod:`repro.serve.protocol`.  Each
+connection handshakes onto a hosted session (create-or-join through the
+:class:`~repro.serve.registry.SessionRegistry`), then interleaves
+REPORTS frames — decoded straight into NumPy columns and micro-batched
+per class — with QUERY frames answered mid-stream from drained
+snapshots.  The event loop only ever buffers and routes; the actual
+privatisation/aggregation work runs on the drain adapters' worker
+threads, so ingestion for one session overlaps with queries on another.
+
+Backpressure is end-to-end: a session above its high-water mark of
+unprocessed reports parks the connection coroutine after the offending
+frame, which stops the collector reading the socket, fills the kernel
+buffers, and blocks the client's writes until the aggregation plane
+catches up below the low-water mark.
+
+A periodic flusher bounds staleness for trickle streams: buffers that
+never reach ``flush_reports`` are swept every ``flush_interval``
+seconds, so a mid-stream query on a quiet session still reflects
+(almost) everything accepted.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Optional
+
+from ..exceptions import ReproError
+from . import protocol
+from .protocol import ServeError, WireError
+from .registry import SessionRegistry
+
+
+class ReportCollector:
+    """Serve LDP report collection over localhost/TCP.
+
+    Parameters
+    ----------
+    registry:
+        The session registry to host; a fresh one is built from the
+        keyword defaults when omitted.
+    host / port:
+        Bind address; port ``0`` (default) lets the OS pick — read the
+        bound address back from :attr:`host` / :attr:`port` after
+        :meth:`start`.
+    flush_interval:
+        Period of the background buffer sweep in seconds.
+    default_shards / flush_reports / high_water / record:
+        Registry defaults when ``registry`` is omitted (see
+        :class:`~repro.serve.registry.SessionRegistry`).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[SessionRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        flush_interval: float = 0.05,
+        default_shards: int = 1,
+        flush_reports: int = 8192,
+        high_water: int = 262_144,
+        record: bool = False,
+        max_sessions: int = 256,
+    ) -> None:
+        if flush_interval <= 0:
+            raise ServeError(
+                f"flush_interval must be positive, got {flush_interval!r}"
+            )
+        self.registry = registry if registry is not None else SessionRegistry(
+            default_shards=default_shards,
+            flush_reports=flush_reports,
+            high_water=high_water,
+            record=record,
+            max_sessions=max_sessions,
+        )
+        self._bind_host = host
+        self._bind_port = port
+        self.flush_interval = float(flush_interval)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._flusher: Optional[asyncio.Task] = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        if self._server is None:
+            return self._bind_host
+        return self._server.sockets[0].getsockname()[0]
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            return self._bind_port
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> tuple[str, int]:
+        """Bind and start serving; returns the bound ``(host, port)``."""
+        if self._server is not None:
+            raise ServeError("collector is already started")
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._bind_host, self._bind_port
+        )
+        self._flusher = asyncio.ensure_future(self._flush_loop())
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled (the standalone ``repro-serve`` loop)."""
+        if self._server is None:
+            await self.start()
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting, settle every session's buffers, release workers."""
+        if self._flusher is not None:
+            self._flusher.cancel()
+            try:
+                await self._flusher
+            except asyncio.CancelledError:
+                pass
+            self._flusher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.registry.settle_all()
+        self.registry.close()
+
+    async def __aenter__(self) -> "ReportCollector":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _flush_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.flush_interval)
+            for hosted in self.registry.sessions():
+                hosted.try_flush()
+
+    # ------------------------------------------------------------------
+    # per-connection protocol loop
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            await self._serve_connection(reader, writer)
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass  # peer went away mid-frame; its flushed reports stand
+        except Exception as error:  # noqa: BLE001 - untrusted peer input;
+            # report whatever a frame provoked instead of dropping silently
+            await self._try_reply(writer, protocol.error_frame(error))
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except ConnectionError:  # pragma: no cover - platform dependent
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        frame_type, body = await protocol.read_frame(reader)
+        if frame_type != protocol.HELLO:
+            raise WireError("connection must open with a HELLO frame")
+        try:
+            hosted, created = self.registry.open(protocol.decode_json(body))
+        except ReproError as error:
+            await self._try_reply(writer, protocol.error_frame(error))
+            return
+        writer.write(
+            protocol.reply_frame(
+                {
+                    "session": hosted.session_id,
+                    "kind": hosted.kind,
+                    "created": created,
+                }
+            )
+        )
+        await writer.drain()
+
+        accepted = 0
+        while True:
+            frame_type, body = await protocol.read_frame(reader)
+            if frame_type == protocol.REPORTS:
+                labels, items = protocol.decode_reports(body)
+                accepted += hosted.buffer(labels, items)
+                hosted.try_flush(only_full=True)
+                await hosted.wait_writable()
+            elif frame_type == protocol.QUERY:
+                spec = protocol.decode_json(body)
+                try:
+                    result = await hosted.query(spec)
+                except Exception as error:  # noqa: BLE001
+                    # Recoverable (e.g. estimate() before any data, or a
+                    # malformed parameter): report, keep the connection.
+                    writer.write(protocol.error_frame(error))
+                else:
+                    writer.write(protocol.reply_frame(result))
+                await writer.drain()
+            elif frame_type == protocol.BYE:
+                await hosted.settle()
+                writer.write(protocol.reply_frame({"ingested": accepted}))
+                await writer.drain()
+                return
+            else:
+                raise WireError(
+                    f"unexpected frame type {frame_type:#x} mid-session"
+                )
+
+    async def _try_reply(self, writer, frame: bytes) -> None:
+        try:
+            writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, RuntimeError):  # pragma: no cover
+            pass

@@ -1,0 +1,235 @@
+"""The report-collection wire protocol: length-prefixed frames.
+
+Every message on a collector connection is one *frame*::
+
+    frame   := u32_be length | u8 type | body           (length covers type+body)
+
+    HELLO   (0x01)  JSON session config — framework/top-k kind, epsilon,
+                    domain sizes, execution mode, optional seed/shards/
+                    decay; opens or joins the named session.
+    REPORTS (0x02)  u32_be count | count x (i32_le label, i32_le item) —
+                    the per-user reports, packed columnar-ready.
+    QUERY   (0x03)  JSON ``{"query": "estimate" | "topk" | "class_sizes"
+                    | "stats" | "advance_round", ...params}`` — the
+                    control channel, answerable mid-stream.
+    REPLY   (0x04)  JSON ``{"ok": true, "result": ...}`` (arrays as
+                    nested lists).
+    ERROR   (0x05)  JSON ``{"ok": false, "error": msg, "kind": cls}``.
+    BYE     (0x06)  empty body; the collector settles the connection's
+                    buffered reports and replies with the ingested count.
+
+The codec is symmetric — client and collector share these helpers — and
+pure plain-data (struct + JSON + fixed-width integer arrays, no
+pickling), so either end can face an untrusted peer.  Report bodies
+decode straight into ``int64`` NumPy columns, ready for the session
+batch plane without per-report Python dispatch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+#: Frame type tags.
+HELLO = 0x01
+REPORTS = 0x02
+QUERY = 0x03
+REPLY = 0x04
+ERROR = 0x05
+BYE = 0x06
+
+_FRAME_TYPES = frozenset((HELLO, REPORTS, QUERY, REPLY, ERROR, BYE))
+
+#: Hard cap on one frame's payload (type byte + body).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Report pairs that fit one maximal REPORTS frame.
+MAX_REPORTS_PER_FRAME = (MAX_FRAME_BYTES - 5) // 8
+
+_LEN = struct.Struct("!I")
+_COUNT = struct.Struct("!I")
+
+
+class ServeError(ReproError):
+    """The report-collection service rejected a request (the collector's
+    ERROR frame surfaced client-side, or a local serve-layer failure)."""
+
+
+class WireError(ServeError):
+    """A malformed, oversized, or out-of-protocol frame on the wire."""
+
+
+def encode_frame(frame_type: int, body: bytes = b"") -> bytes:
+    """One length-prefixed frame, ready to write."""
+    if frame_type not in _FRAME_TYPES:
+        raise WireError(f"unknown frame type {frame_type:#x}")
+    payload_len = 1 + len(body)
+    if payload_len > MAX_FRAME_BYTES:
+        raise WireError(
+            f"frame of {payload_len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+        )
+    return _LEN.pack(payload_len) + bytes((frame_type,)) + body
+
+
+def encode_json(frame_type: int, obj) -> bytes:
+    """A JSON-bodied frame (HELLO / QUERY / REPLY / ERROR)."""
+    return encode_frame(frame_type, json.dumps(obj).encode("utf-8"))
+
+
+def decode_json(body: bytes) -> dict:
+    try:
+        obj = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"undecodable JSON frame body: {error}") from None
+    if not isinstance(obj, dict):
+        raise WireError(f"JSON frame body must be an object, got {type(obj).__name__}")
+    return obj
+
+
+def _i32_column(name: str, values) -> np.ndarray:
+    """An integer column validated against the int32 wire range — a value
+    that would wrap in the packed frame must fail loudly, not corrupt a
+    cell of the served estimate."""
+    column = np.asarray(values).ravel()
+    if column.size == 0:
+        return column
+    if column.dtype.kind not in "iu":
+        raise WireError(f"{name} must be integers, got dtype {column.dtype}")
+    low, high = int(column.min()), int(column.max())
+    if low < -(2**31) or high >= 2**31:
+        raise WireError(
+            f"{name} values [{low}, {high}] do not fit the int32 wire format"
+        )
+    return column
+
+
+def encode_reports(labels, items) -> bytes:
+    """A REPORTS frame carrying aligned ``(label, item)`` int32 columns."""
+    labels = _i32_column("labels", labels)
+    items = _i32_column("items", items)
+    if labels.shape != items.shape:
+        raise WireError(
+            f"labels ({labels.shape}) and items ({items.shape}) must align"
+        )
+    n = int(labels.size)
+    if n > MAX_REPORTS_PER_FRAME:
+        raise WireError(
+            f"{n} reports exceed the {MAX_REPORTS_PER_FRAME}-per-frame cap; "
+            "chunk the batch"
+        )
+    pairs = np.empty((n, 2), dtype="<i4")
+    pairs[:, 0] = labels
+    pairs[:, 1] = items
+    return encode_frame(REPORTS, _COUNT.pack(n) + pairs.tobytes())
+
+
+def decode_reports(body: bytes) -> tuple[np.ndarray, np.ndarray]:
+    """``(labels, items)`` int64 columns from a REPORTS frame body."""
+    if len(body) < _COUNT.size:
+        raise WireError("truncated REPORTS frame: missing count")
+    (n,) = _COUNT.unpack_from(body)
+    payload = len(body) - _COUNT.size
+    if payload % 4:
+        raise WireError(
+            f"REPORTS frame body of {payload} bytes is not int32-aligned"
+        )
+    flat = np.frombuffer(body, dtype="<i4", offset=_COUNT.size)
+    if flat.size != 2 * n:
+        raise WireError(
+            f"REPORTS frame claims {n} reports but carries {flat.size // 2}"
+        )
+    pairs = flat.reshape(n, 2).astype(np.int64)
+    return pairs[:, 0], pairs[:, 1]
+
+
+async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """The next ``(frame_type, body)`` off the stream.
+
+    Raises :class:`asyncio.IncompleteReadError` on a clean mid-frame EOF
+    and :class:`WireError` on protocol violations.
+    """
+    header = await reader.readexactly(_LEN.size)
+    (payload_len,) = _LEN.unpack(header)
+    if payload_len < 1:
+        raise WireError("empty frame payload")
+    if payload_len > MAX_FRAME_BYTES:
+        raise WireError(
+            f"incoming frame of {payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte cap"
+        )
+    payload = await reader.readexactly(payload_len)
+    frame_type = payload[0]
+    if frame_type not in _FRAME_TYPES:
+        raise WireError(f"unknown frame type {frame_type:#x}")
+    return frame_type, payload[1:]
+
+
+async def request(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    frame: bytes,
+) -> dict:
+    """Write one frame, await the JSON reply, unwrap errors.
+
+    The collector answers every HELLO/QUERY/BYE with a REPLY or ERROR
+    frame; an ERROR raises :class:`ServeError` carrying the collector's
+    message.
+    """
+    writer.write(frame)
+    await writer.drain()
+    frame_type, body = await read_frame(reader)
+    obj = decode_json(body)
+    if frame_type == ERROR:
+        raise ServeError(
+            f"{obj.get('kind', 'ServeError')}: {obj.get('error', 'unknown error')}"
+        )
+    if frame_type != REPLY:
+        raise WireError(f"expected a REPLY frame, got type {frame_type:#x}")
+    return obj
+
+
+def error_frame(error: Exception) -> bytes:
+    """The ERROR frame reporting ``error`` to the peer."""
+    return encode_json(
+        ERROR,
+        {"ok": False, "error": str(error), "kind": type(error).__name__},
+    )
+
+
+def reply_frame(result, **extra) -> bytes:
+    """A REPLY frame wrapping ``result`` (plus any extra fields)."""
+    payload = {"ok": True, "result": result}
+    payload.update(extra)
+    return encode_json(REPLY, payload)
+
+
+def hello_frame(config: dict) -> bytes:
+    """The handshake frame for a session config (``None`` values elided)."""
+    return encode_json(
+        HELLO, {key: value for key, value in config.items() if value is not None}
+    )
+
+
+def query_frame(query: str, **params) -> bytes:
+    body = {"query": query}
+    body.update({key: value for key, value in params.items() if value is not None})
+    return encode_json(QUERY, body)
+
+
+def bye_frame() -> bytes:
+    return encode_frame(BYE)
+
+
+def chunk_spans(n: int, chunk_size: Optional[int] = None):
+    """Slices cutting ``n`` reports into REPORTS-frame-sized chunks."""
+    from ..mechanisms.engine import batch_spans
+
+    size = MAX_REPORTS_PER_FRAME if chunk_size is None else int(chunk_size)
+    size = min(size, MAX_REPORTS_PER_FRAME)
+    return batch_spans(n, 1, size)

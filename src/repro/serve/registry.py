@@ -1,0 +1,496 @@
+"""Hosted session registry: concurrent server-side LDP cohorts.
+
+A :class:`HostedSession` is one collection cohort living inside the
+collector — an :class:`~repro.stream.session.OnlineFrameworkSession`
+fleet behind a :class:`~repro.stream.sharding.ShardedAggregator` (kind
+``"framework"``), or a single
+:class:`~repro.stream.topk_session.OnlineTopKSession` miner (kind
+``"topk"``) — wrapped in the micro-batching and backpressure state the
+asyncio front-end needs:
+
+* incoming reports buffer *per class* in bounded lists; once
+  ``flush_reports`` accumulate (or the periodic flusher / a query / a BYE
+  fires) the buffers concatenate into one class-sorted batch and drain
+  through a :mod:`repro.stream.drain` adapter in engine-bounded chunks;
+* when buffered + in-flight reports exceed ``high_water`` the session
+  reports itself unwritable and connections stop reading — TCP pushes the
+  backpressure to clients — until ingestion drains below ``low_water``;
+* queries serialise against flushing through one asyncio lock, drain
+  synchronously in a worker thread, and answer from a merged snapshot, so
+  every report accepted before the query is reflected in the answer.
+
+A :class:`SessionRegistry` keys hosted sessions by id: the first HELLO
+naming a session creates it from the handshake config, later HELLOs join
+it — with the exact same canonical config, else the join is refused.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import DomainError
+from ..mechanisms.engine import batch_spans
+from ..rng import ensure_rng, spawn
+from ..stream import (
+    AggregatorDrain,
+    OnlineTopKSession,
+    SESSIONS,
+    SessionDrain,
+    ShardedAggregator,
+    make_session,
+)
+from .protocol import ServeError
+
+#: Session kinds hosted by the collector.
+KINDS = ("framework", "topk")
+
+#: Hard ceilings on what one unauthenticated HELLO may make the server
+#: allocate: ``c * d`` int64 cells per shard array and the shard count.
+MAX_DOMAIN_CELLS = 10_000_000
+MAX_SHARDS = 64
+
+#: Every key a HELLO config may carry.
+_CONFIG_KEYS = frozenset(
+    (
+        "session", "kind", "framework", "epsilon", "n_classes", "n_items",
+        "mode", "label_fraction", "seed", "shards",
+        "k", "keep", "extension_bits", "invalid_mode",
+        "decay", "decay_every",
+    )
+)
+
+#: Keys meaningful only for one kind (rejected on the other).  The decay
+#: hook rides OnlineFrameworkSession.decay, which the top-k miner lacks.
+_FRAMEWORK_ONLY = frozenset(("framework", "shards", "decay", "decay_every"))
+_TOPK_ONLY = frozenset(("k", "keep", "extension_bits", "invalid_mode"))
+
+
+def canonical_config(raw: dict, default_shards: int = 1) -> dict:
+    """Validate and normalise a handshake config.
+
+    Fills defaults so two HELLOs describing the same cohort canonicalise
+    identically — the join check is plain dict equality.
+    """
+    unknown = set(raw) - _CONFIG_KEYS
+    if unknown:
+        raise ServeError(f"unknown session config keys: {sorted(unknown)}")
+    session_id = raw.get("session")
+    if not isinstance(session_id, str) or not session_id:
+        raise ServeError("config needs a non-empty string 'session' id")
+    kind = raw.get("kind", "framework")
+    if kind not in KINDS:
+        raise ServeError(f"kind must be one of {KINDS}, got {kind!r}")
+    for key in ("epsilon", "n_classes", "n_items"):
+        if key not in raw:
+            raise ServeError(f"config is missing required key {key!r}")
+    misplaced = set(raw) & (_TOPK_ONLY if kind == "framework" else _FRAMEWORK_ONLY)
+    if misplaced:
+        raise ServeError(
+            f"config keys {sorted(misplaced)} do not apply to kind {kind!r}"
+        )
+    n_classes, n_items = int(raw["n_classes"]), int(raw["n_items"])
+    if n_classes < 1 or n_items < 1:
+        raise ServeError(
+            f"n_classes ({n_classes}) and n_items ({n_items}) must be >= 1"
+        )
+    if n_classes * n_items > MAX_DOMAIN_CELLS:
+        raise ServeError(
+            f"domain of {n_classes} x {n_items} cells exceeds the "
+            f"{MAX_DOMAIN_CELLS}-cell per-session ceiling"
+        )
+    config = {
+        "session": session_id,
+        "kind": kind,
+        "epsilon": float(raw["epsilon"]),
+        "n_classes": n_classes,
+        "n_items": n_items,
+        "mode": raw.get("mode", "simulate"),
+        "seed": None if raw.get("seed") is None else int(raw["seed"]),
+        "decay": None if raw.get("decay") is None else float(raw["decay"]),
+        "decay_every": (
+            None if raw.get("decay_every") is None else int(raw["decay_every"])
+        ),
+    }
+    if kind == "framework":
+        framework = raw.get("framework")
+        if framework not in SESSIONS:
+            raise ServeError(
+                f"framework must be one of {sorted(SESSIONS)}, got {framework!r}"
+            )
+        config["framework"] = framework
+        shards = raw.get("shards")
+        config["shards"] = default_shards if shards is None else int(shards)
+        if not 1 <= config["shards"] <= MAX_SHARDS:
+            raise ServeError(
+                f"shards must be in [1, {MAX_SHARDS}], got {config['shards']}"
+            )
+        label_fraction = raw.get("label_fraction")
+        if framework in ("pts", "pts-cp"):
+            # Fill the effective default so an omitted and an explicit 0.5
+            # canonicalise identically for the join equality check.
+            config["label_fraction"] = (
+                0.5 if label_fraction is None else float(label_fraction)
+            )
+        elif label_fraction is not None:
+            raise ServeError(
+                f"label_fraction does not apply to framework {framework!r}"
+            )
+        else:
+            config["label_fraction"] = None
+    else:
+        if "k" not in raw:
+            raise ServeError("top-k config is missing required key 'k'")
+        config["k"] = int(raw["k"])
+        config["keep"] = None if raw.get("keep") is None else int(raw["keep"])
+        config["extension_bits"] = int(raw.get("extension_bits", 1))
+        config["invalid_mode"] = raw.get("invalid_mode", "vp")
+        config["label_fraction"] = float(raw.get("label_fraction", 0.5))
+    return config
+
+
+def _build_drain(config: dict, record: bool):
+    """The drain adapter for a canonical config.
+
+    Framework shards spawn their generators from the config seed with
+    :func:`repro.rng.spawn`, so a recorded run replays offline from the
+    same seed (see :func:`repro.stream.drain.replay_drain_log`).
+    """
+    decay = dict(decay=config["decay"], decay_every=config["decay_every"])
+    if config["kind"] == "framework":
+        children = spawn(ensure_rng(config["seed"]), config["shards"])
+        shards = [
+            make_session(
+                config["framework"],
+                epsilon=config["epsilon"],
+                n_classes=config["n_classes"],
+                n_items=config["n_items"],
+                mode=config["mode"],
+                rng=child,
+                label_fraction=config["label_fraction"],
+            )
+            for child in children
+        ]
+        return AggregatorDrain(ShardedAggregator(shards), record=record, **decay)
+    miner = OnlineTopKSession(
+        k=config["k"],
+        epsilon=config["epsilon"],
+        n_classes=config["n_classes"],
+        n_items=config["n_items"],
+        label_fraction=config["label_fraction"],
+        keep=config["keep"],
+        extension_bits=config["extension_bits"],
+        invalid_mode=config["invalid_mode"],
+        mode=config["mode"],
+        rng=ensure_rng(config["seed"]),
+    )
+    return SessionDrain(miner, record=record, **decay)
+
+
+class HostedSession:
+    """One live cohort: buffers, drain adapter, backpressure, queries."""
+
+    def __init__(
+        self,
+        config: dict,
+        flush_reports: int = 8192,
+        high_water: int = 262_144,
+        record: bool = False,
+    ) -> None:
+        if flush_reports < 1:
+            raise ServeError(f"flush_reports must be >= 1, got {flush_reports}")
+        if high_water < flush_reports:
+            raise ServeError(
+                f"high_water ({high_water}) must be >= flush_reports "
+                f"({flush_reports})"
+            )
+        self.config = config
+        self.session_id = config["session"]
+        self.kind = config["kind"]
+        self.n_classes = config["n_classes"]
+        self.n_items = config["n_items"]
+        self.flush_reports = int(flush_reports)
+        self.high_water = int(high_water)
+        self.low_water = max(1, self.high_water // 2)
+        self._drain = _build_drain(config, record)
+        self._class_items: list[list[np.ndarray]] = [
+            [] for _ in range(self.n_classes)
+        ]
+        self._buffered = 0
+        self._inflight = 0
+        self.n_accepted = 0
+        self._lock = asyncio.Lock()
+        self._resume = asyncio.Event()
+        self._resume.set()
+
+    # ------------------------------------------------------------------
+    # buffering and flushing (event-loop thread only)
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Reports accepted but not yet folded into session state."""
+        return self._buffered + self._inflight
+
+    @property
+    def drain_log(self):
+        return self._drain.drain_log
+
+    def buffer(self, labels: np.ndarray, items: np.ndarray) -> int:
+        """Accept one decoded wire batch into the per-class buffers."""
+        n = int(labels.size)
+        if n == 0:
+            return 0
+        if labels.min() < 0 or labels.max() >= self.n_classes:
+            raise DomainError(f"labels outside [0, {self.n_classes})")
+        if items.min() < 0 or items.max() >= self.n_items:
+            raise DomainError(f"items outside [0, {self.n_items})")
+        if self.n_classes == 1:
+            self._class_items[0].append(items)
+        else:
+            order = np.argsort(labels, kind="stable")
+            sorted_labels = labels[order]
+            sorted_items = items[order]
+            bounds = np.searchsorted(
+                sorted_labels, np.arange(self.n_classes + 1)
+            )
+            for label in range(self.n_classes):
+                lo, hi = int(bounds[label]), int(bounds[label + 1])
+                if hi > lo:
+                    self._class_items[label].append(sorted_items[lo:hi])
+        self._buffered += n
+        self.n_accepted += n
+        return n
+
+    def flush(self) -> int:
+        """Drain the class buffers into the aggregation plane.
+
+        Buffers concatenate into one class-sorted ``(labels, items)``
+        batch, cut into ``flush_reports``-sized sub-batches with the
+        engine's :func:`~repro.mechanisms.engine.batch_spans` before
+        submission.  Loop-thread only; callers serialise against
+        :meth:`query` via the session lock (or skip when it is held).
+        """
+        if self._buffered == 0:
+            return 0
+        label_parts, item_parts = [], []
+        for label in range(self.n_classes):
+            chunks = self._class_items[label]
+            if not chunks:
+                continue
+            class_items = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
+            label_parts.append(
+                np.full(class_items.size, label, dtype=np.int64)
+            )
+            item_parts.append(class_items)
+            self._class_items[label] = []
+        labels = np.concatenate(label_parts)
+        items = np.concatenate(item_parts)
+        flushed = int(labels.size)
+        self._buffered -= flushed
+        loop = asyncio.get_running_loop()
+        for span in batch_spans(flushed, 1, self.flush_reports):
+            chunk_labels, chunk_items = labels[span], items[span]
+            self._inflight += int(chunk_labels.size)
+            future = self._drain.submit(chunk_labels, chunk_items)
+            future.add_done_callback(
+                partial(self._on_drained, loop, int(chunk_labels.size))
+            )
+        return flushed
+
+    def try_flush(self, only_full: bool = False) -> int:
+        """Opportunistic flush, skipped while a query holds the lock.
+
+        ``only_full`` applies the micro-batching threshold (the REPORTS
+        hot path); the periodic sweep and backpressure paths flush
+        whatever is buffered.
+        """
+        if self._lock.locked():
+            return 0
+        if only_full and self._buffered < self.flush_reports:
+            return 0
+        return self.flush()
+
+    def _on_drained(self, loop, n: int, _future) -> None:
+        # Runs on a drain worker thread; hop back to the loop.
+        loop.call_soon_threadsafe(self._mark_drained, n)
+
+    def _mark_drained(self, n: int) -> None:
+        self._inflight -= n
+        if self.pending <= self.low_water:
+            self._resume.set()
+
+    # ------------------------------------------------------------------
+    # backpressure
+    # ------------------------------------------------------------------
+    async def wait_writable(self) -> None:
+        """Pause the caller (and so its socket reads) above the high-water
+        mark until ingestion catches up below the low-water mark."""
+        while self.pending > self.high_water:
+            self.try_flush()
+            self._resume.clear()
+            await self._resume.wait()
+
+    # ------------------------------------------------------------------
+    # queries and settling
+    # ------------------------------------------------------------------
+    async def query(self, spec: dict):
+        """Answer one control-channel query against a drained snapshot."""
+        async with self._lock:
+            self.flush()
+            loop = asyncio.get_running_loop()
+            try:
+                return await loop.run_in_executor(None, self._query_sync, spec)
+            finally:
+                self._resume.set()  # re-check writability after the drain
+
+    async def settle(self) -> None:
+        """Flush and drain everything buffered (BYE / shutdown path)."""
+        async with self._lock:
+            self.flush()
+            loop = asyncio.get_running_loop()
+            try:
+                await loop.run_in_executor(None, self._drain.drain)
+            finally:
+                self._resume.set()
+
+    def _query_sync(self, spec: dict):
+        self._drain.drain()
+        query = spec.get("query")
+        if query == "stats":
+            return self._stats()
+        snapshot = self._drain.snapshot()
+        if query == "topk":
+            k = spec.get("k")
+            try:
+                k = None if k is None else int(k)
+            except (TypeError, ValueError):
+                raise ServeError(f"topk k must be an integer, got {k!r}") from None
+            if k is None and self.kind == "framework":
+                # Only the miner has an inherent k to default to.
+                raise ServeError(
+                    "topk on a framework session needs an explicit k"
+                )
+            result = snapshot.topk(k)
+            return {str(label): ids for label, ids in result.items()}
+        if self.kind == "framework":
+            if query == "estimate":
+                return snapshot.estimate().tolist()
+            if query == "class_sizes":
+                return snapshot.class_sizes().tolist()
+        else:
+            if query == "advance_round":
+                snapshot.advance_round()
+                return self._round_stats(snapshot)
+        raise ServeError(
+            f"unknown query {query!r} for a {self.kind!r} session"
+        )
+
+    def _round_stats(self, miner) -> dict:
+        return {
+            "round": miner.round,
+            "n_rounds": miner.n_rounds,
+            "depth": miner.depth,
+            "finished": miner.finished,
+            "round_ingested": miner.round_ingested,
+        }
+
+    def _stats(self) -> dict:
+        # Runs post-drain in the worker thread; count from the drain
+        # adapter, not the loop-side pending markers (their decrements hop
+        # back through the event loop and may not have landed yet).
+        stats = {
+            "session": self.session_id,
+            "kind": self.kind,
+            "n_accepted": self.n_accepted,
+            "pending": self.n_accepted - self._drain.n_drained,
+        }
+        if self.kind == "topk":
+            miner = self._drain.snapshot()
+            stats["n_ingested"] = miner.n_ingested
+            stats.update(self._round_stats(miner))
+        else:
+            stats["n_ingested"] = self._drain.n_drained
+        return stats
+
+    def close(self) -> None:
+        self._drain.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"HostedSession(id={self.session_id!r}, kind={self.kind!r}, "
+            f"accepted={self.n_accepted}, pending={self.pending})"
+        )
+
+
+class SessionRegistry:
+    """Concurrent hosted sessions keyed by id (create-or-join).
+
+    ``max_sessions`` bounds how many distinct cohorts unauthenticated
+    handshakes can create (each holds shard arrays and worker threads);
+    per-session allocations are capped by :data:`MAX_DOMAIN_CELLS` /
+    :data:`MAX_SHARDS` in :func:`canonical_config`.
+    """
+
+    def __init__(
+        self,
+        default_shards: int = 1,
+        flush_reports: int = 8192,
+        high_water: int = 262_144,
+        record: bool = False,
+        max_sessions: int = 256,
+    ) -> None:
+        self.default_shards = int(default_shards)
+        self.flush_reports = int(flush_reports)
+        self.high_water = int(high_water)
+        self.record = bool(record)
+        self.max_sessions = int(max_sessions)
+        self._sessions: dict[str, HostedSession] = {}
+
+    def open(self, raw_config: dict) -> tuple[HostedSession, bool]:
+        """The hosted session for a HELLO config: created on first sight,
+        joined (under an exactly matching config) afterwards."""
+        config = canonical_config(raw_config, self.default_shards)
+        existing = self._sessions.get(config["session"])
+        if existing is not None:
+            if existing.config != config:
+                raise ServeError(
+                    f"session {config['session']!r} exists with a different "
+                    "config; joins must match the creating handshake exactly"
+                )
+            return existing, False
+        if len(self._sessions) >= self.max_sessions:
+            raise ServeError(
+                f"session cap ({self.max_sessions}) reached; "
+                f"cannot create {config['session']!r}"
+            )
+        hosted = HostedSession(
+            config,
+            flush_reports=self.flush_reports,
+            high_water=self.high_water,
+            record=self.record,
+        )
+        self._sessions[config["session"]] = hosted
+        return hosted, True
+
+    def get(self, session_id: str) -> HostedSession:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise ServeError(f"unknown session {session_id!r}") from None
+
+    def sessions(self) -> list[HostedSession]:
+        return list(self._sessions.values())
+
+    async def settle_all(self) -> None:
+        for hosted in self.sessions():
+            await hosted.settle()
+
+    def close(self) -> None:
+        for hosted in self.sessions():
+            hosted.close()
+
+    def __len__(self) -> int:
+        return len(self._sessions)

@@ -15,6 +15,10 @@ this subpackage converts aggregation into an online system:
 * :mod:`~repro.stream.topk_session` — :class:`OnlineTopKSession`, the
   incremental top-k miner: ingest users round-by-round against a
   per-class candidate frontier, query per-class top-k mid-stream.
+* :mod:`~repro.stream.drain` — drain adapters giving ingestion
+  front-ends (e.g. the :mod:`repro.serve` collector) one submit / drain /
+  snapshot interface over sharded sessions and the top-k miner, with an
+  optional decayed-ingest hook and a replayable drain log.
 * :mod:`~repro.stream.checkpoint` — the plain-data ``.npz`` state format.
 
 Quickstart::
@@ -43,6 +47,7 @@ from .accumulators import (
     accumulator_for,
 )
 from .checkpoint import load_state, save_state
+from .drain import AggregatorDrain, BatchDrain, SessionDrain, replay_drain_log
 from .session import (
     SESSIONS,
     OnlineFrameworkSession,
@@ -57,6 +62,8 @@ from .topk_session import OnlineTopKSession
 
 __all__ = [
     "ACCUMULATORS",
+    "AggregatorDrain",
+    "BatchDrain",
     "BitVectorAccumulator",
     "CorrelatedAccumulator",
     "CountAccumulator",
@@ -70,11 +77,13 @@ __all__ = [
     "OnlinePTSCP",
     "OnlineTopKSession",
     "SESSIONS",
+    "SessionDrain",
     "ShardedAggregator",
     "SupportAccumulator",
     "accumulator_for",
     "default_shard_count",
     "load_state",
     "make_session",
+    "replay_drain_log",
     "save_state",
 ]

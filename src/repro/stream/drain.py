@@ -1,0 +1,238 @@
+"""Drain adapters — a uniform ingestion back-end for report front-ends.
+
+An ingestion front-end (the asyncio collector in :mod:`repro.serve`, or
+any other transport) produces ``(labels, items)`` batches and needs three
+operations from the aggregation layer behind it: *submit* a batch,
+*drain* everything queued, and take a queryable *snapshot*.  The two
+streaming back-ends expose those operations differently — a
+:class:`~repro.stream.sharding.ShardedAggregator` fans batches over
+mergeable framework sessions, while an
+:class:`~repro.stream.topk_session.OnlineTopKSession` is a single stateful
+miner with no ``merge`` — so this module wraps both behind one interface:
+
+* :class:`AggregatorDrain` — round-robin over a sharded aggregator,
+  snapshot via ``merged()``;
+* :class:`SessionDrain` — a single session-like target served by its own
+  single-worker executor (FIFO, deterministic RNG consumption).
+
+Both adapters optionally record every submitted batch (``record=True``) —
+the *drain log* — so a transport path can be replayed offline through
+identically seeded sessions and checked for exact equality, and both
+carry the *decayed-ingest hook*: with ``decay`` set, every
+``decay_every`` ingested reports the underlying state is aged by
+:meth:`~repro.stream.session.OnlineFrameworkSession.decay`, turning any
+front-end into a recency-weighted collector.
+
+Adapters are not thread-safe: callers serialise ``submit``/``drain``
+(the serve collector holds one asyncio lock per hosted session).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Optional
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+
+#: One recorded submission: ``(shard_index, labels, items)``.
+DrainLogEntry = tuple[int, np.ndarray, np.ndarray]
+
+
+def _as_batch(labels, items) -> tuple[np.ndarray, np.ndarray]:
+    labels = np.asarray(labels, dtype=np.int64).ravel()
+    items = np.asarray(items, dtype=np.int64).ravel()
+    return labels, items
+
+
+class BatchDrain:
+    """Shared plumbing: decay hook, drain log, submission accounting."""
+
+    def __init__(
+        self,
+        decay: Optional[float] = None,
+        decay_every: Optional[int] = None,
+        record: bool = False,
+    ) -> None:
+        if (decay is None) != (decay_every is None):
+            raise ConfigurationError(
+                "decay and decay_every must be given together"
+            )
+        if decay is not None and not 0.0 < decay <= 1.0:
+            raise ConfigurationError(f"decay must be in (0, 1], got {decay!r}")
+        if decay_every is not None and decay_every < 1:
+            raise ConfigurationError(
+                f"decay_every must be >= 1, got {decay_every!r}"
+            )
+        self.decay = decay
+        self.decay_every = decay_every
+        self._since_decay = 0
+        #: Reports folded into the underlying state across all drains.
+        self.n_drained = 0
+        self.drain_log: Optional[list[DrainLogEntry]] = [] if record else None
+
+    def submit(self, labels, items) -> Future:
+        raise NotImplementedError
+
+    def drain(self) -> int:
+        raise NotImplementedError
+
+    def snapshot(self):
+        """Queryable state covering everything drained so far."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+    def _record(self, shard: int, labels: np.ndarray, items: np.ndarray) -> None:
+        if self.drain_log is not None:
+            self.drain_log.append((shard, labels, items))
+
+    def _apply_decay(self, drained: int, targets) -> None:
+        """One decay per ``decay_every`` ingested reports, regardless of
+        how many drains (or how large a drain) delivered them: a drain
+        covering several periods compounds the factor, and the remainder
+        carries into the next drain, so the ageing schedule tracks the
+        report count, not the caller's drain cadence."""
+        if self.decay is None or drained <= 0:
+            return
+        self._since_decay += drained
+        periods = self._since_decay // self.decay_every
+        if periods:
+            factor = self.decay**periods
+            for target in targets:
+                target.decay(factor)
+            self._since_decay -= periods * self.decay_every
+
+    def __enter__(self) -> "BatchDrain":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AggregatorDrain(BatchDrain):
+    """Drain into a :class:`~repro.stream.sharding.ShardedAggregator`.
+
+    The adapter owns the round-robin shard choice (instead of deferring to
+    the aggregator's internal rotation) so the drain log can name the
+    shard each batch landed on — replaying the log per shard, in order,
+    through identically seeded sessions reproduces the merged state
+    exactly.
+    """
+
+    def __init__(
+        self,
+        aggregator,
+        decay: Optional[float] = None,
+        decay_every: Optional[int] = None,
+        record: bool = False,
+    ) -> None:
+        super().__init__(decay=decay, decay_every=decay_every, record=record)
+        if self.decay is not None:
+            for shard in aggregator.partials():
+                if not hasattr(shard, "decay"):
+                    raise ConfigurationError(
+                        f"shard {shard!r} does not support decay"
+                    )
+        self._aggregator = aggregator
+        self._next = 0
+
+    @property
+    def aggregator(self):
+        return self._aggregator
+
+    def submit(self, labels, items) -> Future:
+        labels, items = _as_batch(labels, items)
+        shard = self._next % self._aggregator.n_shards
+        self._next += 1
+        self._record(shard, labels, items)
+        return self._aggregator.submit((labels, items), shard=shard)
+
+    def drain(self) -> int:
+        drained = self._aggregator.drain()
+        self.n_drained += drained
+        self._apply_decay(drained, self._aggregator.partials())
+        return drained
+
+    def snapshot(self):
+        # Drain through the adapter first (not just inside merged()) so
+        # n_drained is credited and due decay periods apply before the
+        # merge; merged()'s own internal drain is then a no-op.
+        self.drain()
+        return self._aggregator.merged()
+
+    def close(self) -> None:
+        self._aggregator.close()
+
+
+class SessionDrain(BatchDrain):
+    """Drain into one session-like target (``ingest_batch`` of a
+    ``(labels, items)`` tuple) through a private single-worker executor,
+    keeping submissions FIFO like a one-shard aggregator.
+
+    The natural target is an
+    :class:`~repro.stream.topk_session.OnlineTopKSession`, whose rounds
+    are global state no shard split can carry; queries and round control
+    go through :meth:`snapshot`, which hands back the live target once
+    pending work is drained.
+    """
+
+    def __init__(
+        self,
+        target,
+        decay: Optional[float] = None,
+        decay_every: Optional[int] = None,
+        record: bool = False,
+    ) -> None:
+        super().__init__(decay=decay, decay_every=decay_every, record=record)
+        if self.decay is not None and not hasattr(target, "decay"):
+            raise ConfigurationError(f"{target!r} does not support decay")
+        self._target = target
+        self._executor = ThreadPoolExecutor(max_workers=1)
+        self._futures: list[Future] = []
+
+    @property
+    def target(self):
+        return self._target
+
+    def submit(self, labels, items) -> Future:
+        labels, items = _as_batch(labels, items)
+        self._record(0, labels, items)
+        future = self._executor.submit(self._target.ingest_batch, (labels, items))
+        self._futures.append(future)
+        return future
+
+    def drain(self) -> int:
+        futures, self._futures = self._futures, []
+        drained = sum(int(future.result() or 0) for future in futures)
+        self.n_drained += drained
+        self._apply_decay(drained, (self._target,))
+        return drained
+
+    def snapshot(self):
+        self.drain()
+        return self._target
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=True)
+
+
+def replay_drain_log(log, shards) -> list:
+    """Replay a recorded drain log into fresh per-shard states.
+
+    ``shards`` are session-like objects seeded exactly as the recorded
+    run's shards were (e.g. via :func:`repro.rng.spawn` from the same base
+    seed); each log entry is ingested into its shard in log order, which
+    matches the per-shard FIFO of the original run.  Returns the mutated
+    shard list — reduce with ``merge`` (or query the single shard) to
+    compare against the live snapshot.
+    """
+    for shard, labels, items in log:
+        if not 0 <= shard < len(shards):
+            raise ConfigurationError(
+                f"log names shard {shard} but only {len(shards)} given"
+            )
+        shards[shard].ingest_batch((labels, items))
+    return list(shards)

@@ -175,6 +175,32 @@ class OnlineFrameworkSession:
         return self.estimate().sum(axis=1)
 
     # ------------------------------------------------------------------
+    # ageing
+    # ------------------------------------------------------------------
+    def decay(self, factor: float) -> None:
+        """Exponentially age the stream: scale every additive counter (and
+        the ingested-user count) by ``factor`` in ``(0, 1]``.
+
+        Applied periodically this turns the session into a recency-weighted
+        estimator for time-varying streams: old reports fade geometrically
+        while fresh batches enter at full weight.  Supports and user counts
+        shrink together, so the calibrations stay consistent; the integer
+        rounding adds a vanishing O(1) perturbation per counter.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"decay factor must be in (0, 1], got {factor!r}"
+            )
+        if factor == 1.0:
+            return
+        for field in self._STATE_FIELDS:
+            arr = getattr(self, "_" + field)
+            setattr(
+                self, "_" + field, np.rint(arr * factor).astype(np.int64)
+            )
+        self._n = int(round(self._n * factor))
+
+    # ------------------------------------------------------------------
     # merging
     # ------------------------------------------------------------------
     def merge(self, other: "OnlineFrameworkSession") -> "OnlineFrameworkSession":

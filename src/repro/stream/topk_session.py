@@ -333,6 +333,107 @@ class OnlineTopKSession:
             out[label] = [int(v) for v in cand[kept]]
         return out
 
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Checkpoint the mining state to an ``.npz`` archive.
+
+        Everything server-side round-trips — configuration, round/depth
+        counters, each class's candidate frontier and running supports,
+        and the final ranking once mining finished.  Client-side
+        randomness is never part of the state; :meth:`restore` takes a
+        fresh generator to resume ingestion.
+        """
+        from .checkpoint import save_state
+
+        meta = {
+            "session": "topk",
+            "k": self.k,
+            "epsilon": self.epsilon,
+            "n_classes": self.n_classes,
+            "n_items": self.n_items,
+            "label_fraction": self.label_fraction,
+            "keep": self.keep,
+            "extension_bits": self.extension_bits,
+            "invalid_mode": self.invalid_mode,
+            "mode": self.mode,
+            "depth": int(self._depth),
+            "round": int(self._round),
+            "round_n": int(self._round_n),
+            "n": int(self._n),
+            "finished": self._result is not None,
+        }
+        arrays = {}
+        for label in range(self.n_classes):
+            arrays[f"candidates_{label}"] = self._candidates[label]
+            arrays[f"support_{label}"] = self._support[label]
+            if self._result is not None:
+                arrays[f"result_{label}"] = np.asarray(
+                    self._result[label], dtype=np.int64
+                )
+        save_state(path, meta, arrays)
+
+    @classmethod
+    def restore(cls, path, rng: RngLike = None) -> "OnlineTopKSession":
+        """Rebuild a miner checkpointed with :meth:`save`, resuming at the
+        saved round with ``rng`` driving further ingestion."""
+        from .checkpoint import load_state
+
+        meta, arrays = load_state(path)
+        if meta.get("session") != "topk":
+            raise ConfigurationError(
+                f"checkpoint holds a {meta.get('session')!r} state, "
+                "not an OnlineTopKSession"
+            )
+        session = cls(
+            k=meta["k"],
+            epsilon=meta["epsilon"],
+            n_classes=meta["n_classes"],
+            n_items=meta["n_items"],
+            label_fraction=meta["label_fraction"],
+            keep=meta["keep"],
+            extension_bits=meta["extension_bits"],
+            invalid_mode=meta["invalid_mode"],
+            mode=meta["mode"],
+            rng=rng,
+        )
+        if not 0 <= meta["round"] <= session.n_rounds:
+            raise ConfigurationError(
+                f"checkpoint round {meta['round']} outside "
+                f"[0, {session.n_rounds}]"
+            )
+        session._depth = int(meta["depth"])
+        session._round = int(meta["round"])
+        session._round_n = int(meta["round_n"])
+        session._n = int(meta["n"])
+        candidates, support = [], []
+        for label in range(session.n_classes):
+            try:
+                cand = arrays[f"candidates_{label}"]
+                sup = arrays[f"support_{label}"]
+            except KeyError:
+                raise ConfigurationError(
+                    f"checkpoint is missing class {label}'s frontier"
+                ) from None
+            cand = np.asarray(cand, dtype=np.int64)
+            sup = np.asarray(sup, dtype=np.int64)
+            if cand.shape != sup.shape:
+                raise ConfigurationError(
+                    f"class {label}: candidates {cand.shape} and supports "
+                    f"{sup.shape} must align"
+                )
+            candidates.append(cand)
+            support.append(sup)
+        session._candidates = candidates
+        session._support = support
+        if meta["finished"]:
+            session._result = {
+                label: [int(v) for v in arrays[f"result_{label}"]]
+                for label in range(session.n_classes)
+            }
+        return session
+
     def run(self, labels, items) -> dict[int, list[int]]:
         """Convenience: stream a full population through the remaining
         rounds (near-equal random cohorts, one per round) and return the

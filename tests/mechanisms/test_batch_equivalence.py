@@ -166,6 +166,63 @@ class TestEngine:
         assert support.shape == (7,)
         assert (support == 0).all()
 
+    def test_ragged_final_block_covers_every_user(self):
+        """n_values not divisible by the block row count: the last span is
+        a remainder block and no user is dropped or double-counted."""
+        from repro.mechanisms.engine import batch_spans
+
+        spans = list(batch_spans(103, 1, block_elements=10))
+        assert [s.start for s in spans] == list(range(0, 103, 10))
+        mech = GeneralizedRandomResponse(EPS, 6, rng=np.random.default_rng(20))
+        values = np.random.default_rng(21).integers(0, 6, size=103)
+        support = batch_support(mech, values, block_elements=10)
+        assert support.sum() == 103
+
+    def test_block_smaller_than_row_width_degrades_to_single_rows(self):
+        """A cap below one report's width still privatises every user —
+        one row per block — and matches the unblocked run draw-for-draw
+        for the row-major one-hot kernel."""
+        values = np.random.default_rng(22).integers(0, 9, size=37)
+        tiny = batch_support(
+            OptimizedUnaryEncoding(EPS, 9, rng=np.random.default_rng(23)),
+            values,
+            block_elements=3,  # < domain_size=9, i.e. less than one row
+        )
+        whole = batch_support(
+            OptimizedUnaryEncoding(EPS, 9, rng=np.random.default_rng(23)),
+            values,
+            block_elements=10**9,
+        )
+        np.testing.assert_array_equal(tiny, whole)
+
+    def test_zero_user_batch_for_multi_column_mechanism(self):
+        mech = CorrelatedPerturbation(1.0, 1.0, n_classes=3, n_items=5,
+                                      rng=np.random.default_rng(24))
+        empty = np.zeros(0, dtype=np.int64)
+        support = batch_support(mech, (empty, empty))
+        assert support.item_support.shape == (3, 5)
+        assert support.item_support.sum() == 0
+        assert support.label_counts.sum() == 0
+
+    def test_zero_user_grouped_batch_yields_typed_zeros(self):
+        mech = OptimizedUnaryEncoding(EPS, 5, rng=np.random.default_rng(25))
+        empty = np.zeros(0, dtype=np.int64)
+        out = grouped_batch_support(mech, empty, empty, 4)
+        assert out.shape == (4, 5)
+        assert out.dtype == np.int64
+        assert (out == 0).all()
+
+    @pytest.mark.parametrize("cap", [0, -5])
+    def test_non_positive_block_elements_rejected(self, cap):
+        from repro.exceptions import ConfigurationError
+        from repro.mechanisms.engine import batch_spans
+
+        mech = GeneralizedRandomResponse(EPS, 6, rng=np.random.default_rng(26))
+        with pytest.raises(ConfigurationError):
+            list(batch_spans(10, 1, block_elements=cap))
+        with pytest.raises(ConfigurationError):
+            batch_support(mech, np.arange(6), block_elements=cap)
+
     def test_grouped_batch_support_rows_sum_to_group_sizes(self):
         mech = OptimizedUnaryEncoding(8.0, 5, rng=np.random.default_rng(10))
         rng = np.random.default_rng(11)

@@ -1,0 +1,129 @@
+"""The wire codec: frame round-trips, limits, and malformed input."""
+
+import asyncio
+import struct
+
+import numpy as np
+import pytest
+
+from repro.serve import protocol
+from repro.serve.protocol import ServeError, WireError
+
+
+def _roundtrip(frame: bytes):
+    """Feed an encoded frame through the async reader."""
+
+    async def read():
+        reader = asyncio.StreamReader()
+        reader.feed_data(frame)
+        reader.feed_eof()
+        return await protocol.read_frame(reader)
+
+    return asyncio.run(read())
+
+
+class TestFrames:
+    def test_json_frame_roundtrip(self):
+        frame = protocol.encode_json(protocol.QUERY, {"query": "estimate"})
+        frame_type, body = _roundtrip(frame)
+        assert frame_type == protocol.QUERY
+        assert protocol.decode_json(body) == {"query": "estimate"}
+
+    def test_bye_frame_has_empty_body(self):
+        frame_type, body = _roundtrip(protocol.bye_frame())
+        assert frame_type == protocol.BYE
+        assert body == b""
+
+    def test_unknown_frame_type_rejected_on_encode_and_decode(self):
+        with pytest.raises(WireError):
+            protocol.encode_frame(0x7F)
+        bogus = struct.pack("!I", 1) + bytes((0x7F,))
+        with pytest.raises(WireError):
+            _roundtrip(bogus)
+
+    def test_oversized_frame_rejected(self):
+        header = struct.pack("!I", protocol.MAX_FRAME_BYTES + 1)
+        with pytest.raises(WireError):
+            _roundtrip(header + b"x")
+
+    def test_truncated_frame_raises_incomplete_read(self):
+        frame = protocol.encode_json(protocol.REPLY, {"ok": True})
+        with pytest.raises(asyncio.IncompleteReadError):
+            _roundtrip(frame[:-2])
+
+    def test_non_object_json_rejected(self):
+        with pytest.raises(WireError):
+            protocol.decode_json(b"[1, 2]")
+        with pytest.raises(WireError):
+            protocol.decode_json(b"\xff\xfe")
+
+
+class TestReports:
+    def test_reports_roundtrip_exact(self):
+        labels = np.array([0, 2, 1, 2], dtype=np.int64)
+        items = np.array([5, 0, 31, 7], dtype=np.int64)
+        frame = protocol.encode_reports(labels, items)
+        frame_type, body = _roundtrip(frame)
+        assert frame_type == protocol.REPORTS
+        out_labels, out_items = protocol.decode_reports(body)
+        assert out_labels.dtype == np.int64
+        np.testing.assert_array_equal(out_labels, labels)
+        np.testing.assert_array_equal(out_items, items)
+
+    def test_empty_reports_frame(self):
+        frame = protocol.encode_reports([], [])
+        _frame_type, body = _roundtrip(frame)
+        out_labels, out_items = protocol.decode_reports(body)
+        assert out_labels.size == 0 and out_items.size == 0
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(WireError):
+            protocol.encode_reports([0, 1], [3])
+
+    def test_count_mismatch_rejected(self):
+        body = struct.pack("!I", 5) + np.zeros(4, dtype="<i4").tobytes()
+        with pytest.raises(WireError):
+            protocol.decode_reports(body)
+
+    def test_misaligned_body_rejected(self):
+        body = struct.pack("!I", 1) + b"\x00" * 7  # not a multiple of 4
+        with pytest.raises(WireError, match="int32-aligned"):
+            protocol.decode_reports(body)
+
+    def test_int32_overflow_rejected_not_wrapped(self):
+        with pytest.raises(WireError, match="int32 wire format"):
+            protocol.encode_reports([2**32], [0])
+        with pytest.raises(WireError, match="int32 wire format"):
+            protocol.encode_reports([0], [-(2**31) - 1])
+
+    def test_non_integer_columns_rejected(self):
+        with pytest.raises(WireError, match="must be integers"):
+            protocol.encode_reports([0.5], [1])
+
+    def test_truncated_count_rejected(self):
+        with pytest.raises(WireError):
+            protocol.decode_reports(b"\x00")
+
+    def test_chunk_spans_cover_population(self):
+        spans = list(protocol.chunk_spans(10_000, 4096))
+        sizes = [len(range(*span.indices(10_000))) for span in spans]
+        assert sum(sizes) == 10_000
+        assert max(sizes) == 4096
+
+
+class TestHelpers:
+    def test_hello_frame_elides_none(self):
+        frame = protocol.hello_frame({"session": "s", "seed": None})
+        _t, body = _roundtrip(frame)
+        assert protocol.decode_json(body) == {"session": "s"}
+
+    def test_error_frame_carries_kind(self):
+        _t, body = _roundtrip(protocol.error_frame(ValueError("boom")))
+        obj = protocol.decode_json(body)
+        assert obj == {"ok": False, "error": "boom", "kind": "ValueError"}
+
+    def test_serve_error_is_repro_error(self):
+        from repro.exceptions import ReproError
+
+        assert issubclass(ServeError, ReproError)
+        assert issubclass(WireError, ServeError)

@@ -1,0 +1,174 @@
+"""Drain adapters: uniform submit/drain/snapshot over sharded sessions
+and the top-k miner, drain-log replay exactness, and the decay hook."""
+
+import numpy as np
+import pytest
+from functools import reduce
+
+from repro.exceptions import ConfigurationError
+from repro.rng import ensure_rng, spawn
+from repro.stream import (
+    AggregatorDrain,
+    OnlineTopKSession,
+    SessionDrain,
+    ShardedAggregator,
+    make_session,
+    replay_drain_log,
+)
+
+
+def _batches(n=4000, c=3, d=32, seed=2, batch=512):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, c, size=n)
+    items = rng.integers(0, d, size=n)
+    return [
+        (labels[i : i + batch], items[i : i + batch])
+        for i in range(0, n, batch)
+    ]
+
+
+def _shards(seed, n_shards, mode="protocol"):
+    return [
+        make_session("ptj", epsilon=1.0, n_classes=3, n_items=32,
+                     mode=mode, rng=child)
+        for child in spawn(ensure_rng(seed), n_shards)
+    ]
+
+
+class TestAggregatorDrain:
+    def test_drain_log_replays_to_exact_merged_state(self):
+        batches = _batches()
+        with AggregatorDrain(
+            ShardedAggregator(_shards(11, 2)), record=True
+        ) as drain:
+            for labels, items in batches:
+                drain.submit(labels, items)
+            assert drain.drain() == 4000
+            live = drain.snapshot()
+            log = list(drain.drain_log)
+
+        twins = replay_drain_log(log, _shards(11, 2))
+        offline = reduce(lambda a, b: a.merge(b), twins)
+        np.testing.assert_array_equal(offline._support, live._support)
+        np.testing.assert_array_equal(offline.estimate(), live.estimate())
+
+    def test_round_robin_covers_all_shards(self):
+        drain = AggregatorDrain(ShardedAggregator(_shards(3, 3)), record=True)
+        for labels, items in _batches(n=1500, batch=250):
+            drain.submit(labels, items)
+        drain.drain()
+        assert {entry[0] for entry in drain.drain_log} == {0, 1, 2}
+        drain.close()
+
+    def test_decay_hook_ages_counts(self):
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(5, 2, mode="simulate")),
+            decay=0.5,
+            decay_every=1000,
+        )
+        for labels, items in _batches(n=2000):
+            drain.submit(labels, items)
+        drain.drain()
+        snap = drain.snapshot()
+        # One decay pass at least: far fewer effective users than ingested.
+        assert snap.n_ingested <= 1200
+        drain.close()
+
+    def test_snapshot_credits_drain_and_applies_decay(self):
+        """snapshot() without an explicit drain() still counts the drained
+        reports and applies due decay periods (it must route through the
+        adapter's drain, not just the aggregator's)."""
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(8, 2, mode="simulate")),
+            decay=0.5,
+            decay_every=1000,
+        )
+        for labels, items in _batches(n=2000):
+            drain.submit(labels, items)
+        snap = drain.snapshot()  # no explicit drain() beforehand
+        assert drain.n_drained == 2000
+        assert snap.n_ingested <= 1200
+        drain.close()
+
+    def test_decay_periods_track_report_count(self):
+        """A drain spanning several decay periods compounds the factor
+        (not one pass per drain), and the partial period carries into the
+        next drain instead of being dropped."""
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(7, 1, mode="simulate")),
+            decay=0.5,
+            decay_every=1000,
+        )
+        big = np.zeros(4000, dtype=np.int64)
+        drain.submit(big, big)
+        drain.drain()
+        after_big = drain.snapshot().n_ingested
+        # Four compounded periods: ~4000 * 0.5**4 = 250.  A single 0.5
+        # pass (the drain-cadence bug) would leave 2000.
+        assert after_big <= 500
+
+        part = np.zeros(600, dtype=np.int64)
+        drain.submit(part, part)
+        drain.drain()
+        # 600 into the open period: no decay yet.
+        assert drain.snapshot().n_ingested == after_big + 600
+
+        drain.submit(part, part)
+        drain.drain()
+        # 1200 accumulated crosses one boundary exactly once.
+        assert drain.snapshot().n_ingested <= (after_big + 1200) * 0.5 + 5
+        drain.close()
+
+    def test_decay_requires_both_knobs(self):
+        agg = ShardedAggregator(_shards(6, 1))
+        with pytest.raises(ConfigurationError):
+            AggregatorDrain(agg, decay=0.9)
+        with pytest.raises(ConfigurationError):
+            AggregatorDrain(agg, decay=1.5, decay_every=10)
+        agg.close()
+
+
+class TestSessionDrain:
+    def test_topk_target_fifo_and_snapshot(self):
+        session = OnlineTopKSession(
+            k=3, epsilon=2.0, n_classes=2, n_items=16,
+            rng=np.random.default_rng(8),
+        )
+        drain = SessionDrain(session, record=True)
+        for labels, items in _batches(n=1000, c=2, d=16, batch=200):
+            drain.submit(labels, items)
+        snap = drain.snapshot()  # drains pending work first
+        assert snap is session
+        assert session.round_ingested == 1000
+        assert len(drain.drain_log) == 5
+        drain.close()
+
+    def test_decay_rejected_for_targets_without_decay(self):
+        session = OnlineTopKSession(
+            k=2, epsilon=1.0, n_classes=2, n_items=8,
+            rng=np.random.default_rng(9),
+        )
+        with pytest.raises(ConfigurationError):
+            SessionDrain(session, decay=0.9, decay_every=10)
+
+
+class TestSessionDecay:
+    def test_decay_scales_counters_and_estimates_stay_calibrated(self):
+        session = make_session("pts", epsilon=2.0, n_classes=2, n_items=16,
+                               rng=np.random.default_rng(10))
+        labels = np.repeat([0, 1], 2000)
+        items = np.zeros(4000, dtype=np.int64)
+        session.ingest_batch(labels, items)
+        before = session.estimate().sum()
+        session.decay(0.5)
+        assert session.n_ingested == 2000
+        after = session.estimate().sum()
+        # Total estimated mass halves with the user count.
+        assert after == pytest.approx(before * 0.5, rel=0.15)
+
+    def test_decay_validates_factor(self):
+        session = make_session("ptj", epsilon=1.0, n_classes=2, n_items=8)
+        for bad in (0.0, -0.1, 1.5):
+            with pytest.raises(ConfigurationError):
+                session.decay(bad)
+        session.decay(1.0)  # no-op

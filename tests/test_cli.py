@@ -132,6 +132,55 @@ class TestCLI:
         assert payload["executor"] == "process"
         assert payload["total_reports"] == 4 * 8000
 
+    def test_list_mentions_serve(self, capsys):
+        assert main(["--list"]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_serve_subcommand(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_serve.json"
+        monkeypatch.setenv("REPRO_BENCH_SERVE_ARTIFACT", str(artifact))
+        assert (
+            main(
+                [
+                    "serve", "--users", "12000", "--connections", "3",
+                    "--batch-size", "1024", "--shards", "2", "--seed", "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "reports/sec" in out
+        assert (tmp_path / "serve.txt").exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["n_users"] == 12000
+        assert payload["n_shards"] == 2
+        assert len(payload["cells"]) == 1
+        cell = payload["cells"][0]
+        assert cell["connections"] == 3
+        assert cell["reports"] == 12000
+        assert cell["reports_per_sec"] > 0
+
+    def test_serve_only_flags_rejected_elsewhere(self, capsys):
+        assert main(["stream", "--connections", "2"]) == 2
+        assert "--connections" in capsys.readouterr().err
+        assert main(["table1", "--connections", "2"]) == 2
+
+    def test_executor_flag_rejected_for_serve(self, capsys):
+        assert main(["serve", "--executor", "process"]) == 2
+        assert "--executor" in capsys.readouterr().err
+
+    def test_serve_parser_defaults(self):
+        from repro.cli import build_serve_parser
+
+        args = build_serve_parser().parse_args([])
+        assert args.host == "127.0.0.1"
+        assert args.port == 9009
+        assert args.shards == 1
+        assert args.flush_reports == 8192
+
     def test_stream_honors_scale_env(self, capsys, tmp_path, monkeypatch):
         import json
 
@@ -209,6 +258,23 @@ class TestRngHelpers:
 
         with pytest.raises(ValueError):
             spawn(ensure_rng(0), -1)
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        from repro.rng import ensure_rng, spawn_seeds
+
+        first = spawn_seeds(ensure_rng(7), 4)
+        second = spawn_seeds(ensure_rng(7), 4)
+        assert first == second
+        assert len(set(first)) == 4
+        assert all(isinstance(s, int) for s in first)
+
+    def test_spawn_matches_spawn_seeds(self):
+        from repro.rng import ensure_rng, spawn, spawn_seeds
+
+        children = spawn(ensure_rng(3), 2)
+        seeds = spawn_seeds(ensure_rng(3), 2)
+        for child, seed in zip(children, seeds):
+            assert child.random() == np.random.default_rng(seed).random()
 
     def test_ensure_rng_passthrough(self):
         from repro.rng import ensure_rng
