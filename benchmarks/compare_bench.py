@@ -1,0 +1,17 @@
+#!/usr/bin/env python
+"""Bench-regression gate: compare fresh BENCH_*.json artifacts against
+committed baselines and fail on >30% throughput drops.
+
+Thin wrapper over :mod:`repro.bench.regression` so CI can run it without
+installing the package (``PYTHONPATH=src python benchmarks/compare_bench.py
+BENCH_stream.json fresh/BENCH_stream.json ...``).
+"""
+
+import sys
+from pathlib import Path
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    from repro.bench.regression import main
+
+    raise SystemExit(main())

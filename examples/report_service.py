@@ -15,7 +15,23 @@ import asyncio
 import numpy as np
 
 from repro.metrics import rmse
-from repro.serve import ReportClient, ReportCollector, generate_load
+from repro.serve import ReportClient, ReportCollector, fetch_stats, generate_load
+
+
+async def monitor_stats(collector: ReportCollector, period: float = 0.1) -> None:
+    """Poll the collector's STATS frame while load is running.
+
+    A monitor needs no session handshake — ``fetch_stats`` opens a bare
+    connection and the collector answers STATS pre-HELLO, reading its
+    own always-exact registry without draining any session's queue.
+    """
+    while True:
+        live = await fetch_stats(collector.host, collector.port)
+        c = live["collector"]
+        lag = sum(s["pending"] for s in live["sessions"])
+        print(f"  [monitor] {c['reports_ingested']:,} reports ingested, "
+              f"{c['connections_active']} connections, {lag:,} pending")
+        await asyncio.sleep(period)
 
 
 async def frequency_cohort(collector: ReportCollector) -> None:
@@ -35,14 +51,28 @@ async def frequency_cohort(collector: ReportCollector) -> None:
         n_classes=n_classes, n_items=n_items, seed=11, shards=2,
     )
 
-    # Half the population first, then a mid-stream query, then the rest.
+    # Half the population first, then a mid-stream query, then the rest —
+    # with a STATS monitor polling live ingest progress alongside.
     half = n_users // 2
-    load = await generate_load(
-        collector.host, collector.port, config,
-        labels[:half], items[:half], n_connections=4,
-    )
+    monitor = asyncio.ensure_future(monitor_stats(collector))
+    try:
+        load = await generate_load(
+            collector.host, collector.port, config,
+            labels[:half], items[:half], n_connections=4,
+        )
+    finally:
+        monitor.cancel()
+        try:
+            await monitor
+        except asyncio.CancelledError:
+            pass
     print(f"first wave:  {load['reports']:,} reports at "
           f"{load['reports_per_sec']:,.0f}/sec over {load['n_connections']} connections")
+    live = await fetch_stats(collector.host, collector.port)
+    frames = live["collector"]["frames"]
+    print(f"wire frames: {frames.get('hello', 0)} hello, "
+          f"{frames.get('reports', 0)} reports, {frames.get('bye', 0)} bye; "
+          f"{live['collector']['reports_ingested']:,} reports collected")
 
     client = await ReportClient.connect(collector.host, collector.port, **config)
     async with client:

@@ -17,7 +17,6 @@ Besides the text table the run emits a machine-readable
 from __future__ import annotations
 
 import json
-import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -27,9 +26,10 @@ from ..core.frameworks import make_framework
 from ..datasets import LabelItemDataset
 from ..exceptions import ConfigurationError
 from ..metrics import rmse
-from ..rng import RngLike, ensure_rng, spawn
+from ..obs import metrics as obs_metrics
+from ..rng import RngLike, ensure_rng, spawn_seeds
 from ..stream import make_session
-from .reporting import artifact_path, format_table
+from .reporting import artifact_path, bench_meta, format_table
 
 #: Workload parameters per scale.
 SCALES = {
@@ -72,10 +72,10 @@ def _looped_rate(
         mode="protocol",
         rng=rng,
     )
-    start = time.perf_counter()
-    for user in range(sample):
-        session.ingest_batch(labels[user : user + 1], items[user : user + 1])
-    elapsed = time.perf_counter() - start
+    with obs_metrics.span("bench_protocol_baseline_seconds", framework=name) as timer:
+        for user in range(sample):
+            session.ingest_batch(labels[user : user + 1], items[user : user + 1])
+    elapsed = timer.elapsed
     return sample / elapsed if elapsed > 0 else float("inf")
 
 
@@ -109,45 +109,56 @@ def run_protocol_benchmark(
 
     rows = []
     per_framework: dict[str, dict] = {}
-    for name in frameworks:
-        # One spawned child per role so framework runs and looped baselines
-        # never share a stream (or the data-generation stream) across
-        # frameworks, yet the whole bench replays from the single --seed.
-        framework_rng, baseline_rng = spawn(rng, 2)
-        framework = make_framework(
-            name,
-            epsilon=epsilon,
-            n_classes=c,
-            n_items=d,
-            mode="protocol",
-            rng=framework_rng,
-        )
-        start = time.perf_counter()
-        estimate = framework.estimate_frequencies(dataset)
-        elapsed = time.perf_counter() - start
-        users_per_sec = n / elapsed if elapsed > 0 else float("inf")
-        error = float(rmse(estimate, truth))
-        baseline = _looped_rate(name, labels, items, epsilon, c, d, baseline_rng)
-        speedup = users_per_sec / baseline if baseline > 0 else float("inf")
-        rows.append(
-            [
+    role_seeds: dict[str, dict[str, int]] = {}
+    registry = obs_metrics.get_registry()
+    with obs_metrics.enabled():
+        for name in frameworks:
+            # One spawned child per role so framework runs and looped
+            # baselines never share a stream (or the data-generation
+            # stream) across frameworks, yet the whole bench replays from
+            # the single --seed.  (spawn_seeds + ensure_rng reproduces
+            # spawn()'s exact streams and captures the seeds for meta.)
+            framework_seed, baseline_seed = spawn_seeds(rng, 2)
+            role_seeds[name] = {
+                "framework": framework_seed,
+                "baseline": baseline_seed,
+            }
+            framework = make_framework(
                 name,
-                n,
-                f"{elapsed:.2f}",
-                f"{users_per_sec:,.0f}",
-                f"{baseline:,.0f}",
-                f"{speedup:.1f}x",
-                round(error, 1),
-            ]
-        )
-        per_framework[name] = {
-            "n_users": n,
-            "elapsed_sec": elapsed,
-            "users_per_sec": users_per_sec,
-            "baseline_users_per_sec": baseline,
-            "speedup_vs_looped": speedup,
-            "rmse": error,
-        }
+                epsilon=epsilon,
+                n_classes=c,
+                n_items=d,
+                mode="protocol",
+                rng=ensure_rng(framework_seed),
+            )
+            with obs_metrics.span("bench_protocol_seconds", framework=name) as timer:
+                estimate = framework.estimate_frequencies(dataset)
+            elapsed = timer.elapsed
+            users_per_sec = n / elapsed if elapsed > 0 else float("inf")
+            error = float(rmse(estimate, truth))
+            baseline = _looped_rate(
+                name, labels, items, epsilon, c, d, ensure_rng(baseline_seed)
+            )
+            speedup = users_per_sec / baseline if baseline > 0 else float("inf")
+            rows.append(
+                [
+                    name,
+                    n,
+                    f"{elapsed:.2f}",
+                    f"{users_per_sec:,.0f}",
+                    f"{baseline:,.0f}",
+                    f"{speedup:.1f}x",
+                    round(error, 1),
+                ]
+            )
+            per_framework[name] = {
+                "n_users": n,
+                "elapsed_sec": elapsed,
+                "users_per_sec": users_per_sec,
+                "baseline_users_per_sec": baseline,
+                "speedup_vs_looped": speedup,
+                "rmse": error,
+            }
 
     payload = {
         "scale": scale,
@@ -158,6 +169,9 @@ def run_protocol_benchmark(
         "n_items": d,
         "baseline_sample": min(BASELINE_SAMPLE, n),
         "frameworks": per_framework,
+        "meta": bench_meta(
+            role_seeds=role_seeds, metrics=registry.snapshot()
+        ),
     }
     artifact_path = Path(artifact) if artifact is not None else _artifact_path()
     try:

@@ -8,8 +8,34 @@ figure/table, printed to stdout and persisted under
 from __future__ import annotations
 
 import os
+import platform
+import sys
 from pathlib import Path
 from typing import Optional, Sequence
+
+#: Version of the bench artifact ``meta`` block layout.
+BENCH_META_SCHEMA = 1
+
+
+def bench_meta(**extra) -> dict:
+    """The schema-versioned ``meta`` block embedded in every bench artifact.
+
+    Records where and with what the run happened (host, platform, python
+    and numpy versions) plus whatever the bench adds — spawned RNG seeds
+    (so the run is exactly reproducible from the JSON alone) and a
+    telemetry registry snapshot.  ``None``-valued extras are elided.
+    """
+    import numpy
+
+    meta = {
+        "schema": BENCH_META_SCHEMA,
+        "host": platform.node(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "numpy": numpy.__version__,
+    }
+    meta.update({key: value for key, value in extra.items() if value is not None})
+    return meta
 
 
 def format_table(

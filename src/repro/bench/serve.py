@@ -25,8 +25,9 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..metrics import rmse
+from ..obs import metrics as obs_metrics
 from ..rng import ensure_rng, spawn_seeds
-from .reporting import artifact_path, format_table
+from .reporting import artifact_path, bench_meta, format_table
 
 #: Workload parameters per scale.
 SCALES = {
@@ -146,42 +147,48 @@ def run_serve_benchmark(
     rows = []
     cells = []
     best = 0.0
-    for n_conn, cell_seed in zip(connection_grid, cell_seeds):
-        config = dict(
-            session="bench",
-            framework=framework,
-            epsilon=epsilon,
-            n_classes=c,
-            n_items=d,
-            mode=mode,
-            seed=cell_seed,
-            shards=shards,
-        )
-        load = asyncio.run(
-            _run_cell(labels, items, config, n_conn, batch, shards)
-        )
-        error = float(rmse(load.pop("estimate"), truth))
-        best = max(best, load["reports_per_sec"])
-        rows.append(
-            [
-                n_conn,
-                batch,
-                load["reports"],
-                f"{load['elapsed_sec']:.2f}",
-                f"{load['reports_per_sec']:,.0f}",
-                round(error, 1),
-            ]
-        )
-        cells.append(
-            {
-                "connections": n_conn,
-                "batch_size": batch,
-                "reports": load["reports"],
-                "elapsed_sec": load["elapsed_sec"],
-                "reports_per_sec": load["reports_per_sec"],
-                "rmse": error,
-            }
-        )
+    # Measure with telemetry on (acceptance: serve throughput with metrics
+    # enabled stays within noise of the committed artifact); the run's
+    # registry snapshot lands in the artifact meta block.
+    registry = obs_metrics.get_registry()
+    with obs_metrics.enabled():
+        for n_conn, cell_seed in zip(connection_grid, cell_seeds):
+            config = dict(
+                session="bench",
+                framework=framework,
+                epsilon=epsilon,
+                n_classes=c,
+                n_items=d,
+                mode=mode,
+                seed=cell_seed,
+                shards=shards,
+            )
+            load = asyncio.run(
+                _run_cell(labels, items, config, n_conn, batch, shards)
+            )
+            error = float(rmse(load.pop("estimate"), truth))
+            best = max(best, load["reports_per_sec"])
+            rows.append(
+                [
+                    n_conn,
+                    batch,
+                    load["reports"],
+                    f"{load['elapsed_sec']:.2f}",
+                    f"{load['reports_per_sec']:,.0f}",
+                    round(error, 1),
+                ]
+            )
+            cells.append(
+                {
+                    "connections": n_conn,
+                    "batch_size": batch,
+                    "seed": cell_seed,
+                    "reports": load["reports"],
+                    "elapsed_sec": load["elapsed_sec"],
+                    "reports_per_sec": load["reports_per_sec"],
+                    "rmse": error,
+                }
+            )
 
     payload = {
         "scale": scale,
@@ -195,6 +202,7 @@ def run_serve_benchmark(
         "n_shards": shards,
         "cells": cells,
         "max_reports_per_sec": best,
+        "meta": bench_meta(metrics=registry.snapshot()),
     }
     artifact_file = Path(artifact) if artifact is not None else _artifact_path()
     try:

@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 import resource
 import sys
-import time
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -27,9 +26,10 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..metrics import rmse
-from ..rng import ensure_rng, spawn
+from ..obs import metrics as obs_metrics
+from ..rng import ensure_rng, spawn_seeds
 from ..stream import ShardedAggregator, default_shard_count, make_session
-from .reporting import artifact_path, format_table
+from .reporting import artifact_path, bench_meta, format_table
 
 #: Workload parameters per scale.
 SCALES = {
@@ -118,40 +118,56 @@ def run_stream_benchmark(
 
     rows = []
     per_framework: dict[str, dict] = {}
+    shard_seeds: dict[str, list[int]] = {}
     total_reports = 0
-    for name in frameworks:
-        sessions = [
-            make_session(
-                name, epsilon=epsilon, n_classes=c, n_items=d, mode=mode, rng=child
-            )
-            for child in spawn(rng, shards)
-        ]
-        start_time = time.perf_counter()
-        with ShardedAggregator(sessions, executor=executor) as aggregator:
-            for item in batches:
-                aggregator.submit(item)
-            aggregator.drain()
-            merged = aggregator.merged()
-        elapsed = time.perf_counter() - start_time
-        error = float(rmse(merged.estimate(), truth))
-        reports_per_sec = merged.n_ingested / elapsed if elapsed > 0 else float("inf")
-        total_reports += merged.n_ingested
-        rows.append(
-            [
-                name,
-                merged.n_ingested,
-                len(batches),
-                f"{elapsed:.2f}",
-                f"{reports_per_sec:,.0f}",
-                round(error, 1),
+    # Measure with telemetry on: timings come from the shared obs.span
+    # primitive and the run's registry snapshot lands in the artifact
+    # meta block.  (spawn_seeds + ensure_rng reproduces spawn()'s exact
+    # generator streams while capturing the seeds for the meta block.)
+    registry = obs_metrics.get_registry()
+    with obs_metrics.enabled():
+        for name in frameworks:
+            seeds = spawn_seeds(rng, shards)
+            shard_seeds[name] = list(seeds)
+            sessions = [
+                make_session(
+                    name,
+                    epsilon=epsilon,
+                    n_classes=c,
+                    n_items=d,
+                    mode=mode,
+                    rng=ensure_rng(seed_value),
+                )
+                for seed_value in seeds
             ]
-        )
-        per_framework[name] = {
-            "n_ingested": merged.n_ingested,
-            "elapsed_sec": elapsed,
-            "reports_per_sec": reports_per_sec,
-            "rmse": error,
-        }
+            with obs_metrics.span("bench_stream_seconds", framework=name) as timer:
+                with ShardedAggregator(sessions, executor=executor) as aggregator:
+                    for item in batches:
+                        aggregator.submit(item)
+                    aggregator.drain()
+                    merged = aggregator.merged()
+            elapsed = timer.elapsed
+            error = float(rmse(merged.estimate(), truth))
+            reports_per_sec = (
+                merged.n_ingested / elapsed if elapsed > 0 else float("inf")
+            )
+            total_reports += merged.n_ingested
+            rows.append(
+                [
+                    name,
+                    merged.n_ingested,
+                    len(batches),
+                    f"{elapsed:.2f}",
+                    f"{reports_per_sec:,.0f}",
+                    round(error, 1),
+                ]
+            )
+            per_framework[name] = {
+                "n_ingested": merged.n_ingested,
+                "elapsed_sec": elapsed,
+                "reports_per_sec": reports_per_sec,
+                "rmse": error,
+            }
 
     peak_rss_mb = _peak_rss_mb()
     payload = {
@@ -168,6 +184,9 @@ def run_stream_benchmark(
         "total_reports": total_reports,
         "peak_rss_mb": peak_rss_mb,
         "frameworks": per_framework,
+        "meta": bench_meta(
+            shard_seeds=shard_seeds, metrics=registry.snapshot()
+        ),
     }
     artifact_path = Path(artifact) if artifact is not None else _artifact_path()
     try:

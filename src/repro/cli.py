@@ -11,8 +11,10 @@ Examples::
     repro-bench stream --scale quick --shards 4 --executor process
     repro-bench protocol --quick
     repro-bench serve --users 120000 --connections 8
+    repro-bench obs dump --format=prom   # telemetry snapshot
     python -m repro fig6           # equivalent module form
     repro-serve --port 9009        # standalone collector
+    repro-serve --metrics-port 9100 --log-json serve.jsonl
     python -m repro.serve          # equivalent module form
 """
 
@@ -97,7 +99,65 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench obs",
+        description="Inspect the telemetry plane (metrics snapshots).",
+    )
+    parser.add_argument("action", choices=("dump",), help="obs action")
+    parser.add_argument(
+        "--format",
+        choices=("json", "prom"),
+        default="json",
+        help="output format: JSON snapshot or Prometheus text",
+    )
+    parser.add_argument(
+        "--input",
+        default=None,
+        help=(
+            "read the snapshot from a file — either a raw registry "
+            "snapshot or a BENCH_*.json artifact (its meta.metrics block) "
+            "— instead of this process's live registry"
+        ),
+    )
+    return parser
+
+
+def obs_main(argv: Sequence[str]) -> int:
+    """``repro-bench obs dump``: print a metrics snapshot as JSON or
+    Prometheus text, from a file or the live process registry."""
+    import json
+
+    from .obs import get_registry, render_snapshot
+
+    args = build_obs_parser().parse_args(argv)
+    if args.input is not None:
+        with open(args.input, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if "counters" in payload or "histograms" in payload:
+            snapshot = payload
+        elif "metrics" in payload.get("meta", {}):
+            snapshot = payload["meta"]["metrics"]
+        else:
+            print(
+                f"{args.input} holds neither a registry snapshot nor a "
+                "bench artifact with a meta.metrics block",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        snapshot = get_registry().snapshot()
+    if args.format == "prom":
+        sys.stdout.write(render_snapshot(snapshot))
+    else:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or args.experiment is None:
         print("Available experiments:")
@@ -209,6 +269,21 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=0.05,
         help="background buffer sweep period in seconds",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        help=(
+            "also serve a Prometheus /metrics endpoint on this port "
+            "(enables process-wide telemetry)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        default=None,
+        metavar="PATH",
+        help="append structured JSON log records to PATH",
+    )
     return parser
 
 
@@ -219,6 +294,10 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     from .serve import ReportCollector
 
     args = build_serve_parser().parse_args(argv)
+    if args.log_json is not None:
+        from .obs import configure_logging
+
+        configure_logging(args.log_json)
 
     async def _serve() -> None:
         collector = ReportCollector(
@@ -231,9 +310,29 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         )
         await collector.start()
         print(f"repro-serve: collecting reports on {collector.host}:{collector.port}")
+        metrics_server = None
+        if args.metrics_port is not None:
+            from .obs import enable, get_registry, start_metrics_server
+
+            # The engine/stream layers record into the process registry;
+            # flip it on so /metrics exposes them next to the collector's
+            # own always-exact wire counters.
+            enable()
+            metrics_server = await start_metrics_server(
+                args.host,
+                args.metrics_port,
+                (collector.metrics, get_registry()),
+            )
+            print(
+                "repro-serve: metrics on "
+                f"http://{args.host}:{args.metrics_port}/metrics"
+            )
         try:
             await collector.serve_forever()
         finally:
+            if metrics_server is not None:
+                metrics_server.close()
+                await metrics_server.wait_closed()
             await collector.stop()
 
     try:

@@ -18,11 +18,13 @@ tuple and whose "support" is a
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from typing import Iterator, Optional, Union
 
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import metrics as _obs
 
 #: How many report bits one privatised block may materialise at once.
 BLOCK_ELEMENTS = 2_000_000
@@ -56,6 +58,36 @@ def _columns(values) -> tuple[np.ndarray, ...]:
     return (np.asarray(values),)
 
 
+_NULL_SPAN = nullcontext()
+
+
+def _telemetry(oracle, n_reports: int):
+    """Per-call engine telemetry handle, or ``None`` while telemetry is off.
+
+    Instruments are fetched from the process registry per *call*, never
+    cached on oracles or sessions — session objects are pickled into
+    process-pool workers and must not carry lock-bearing instruments.
+    """
+    registry = _obs.get_registry()
+    if not registry.enabled:
+        return None
+    oracle_name = type(oracle).__name__
+    registry.counter("engine_reports_total", oracle=oracle_name).inc(int(n_reports))
+    return (
+        registry.histogram("engine_block_seconds", oracle=oracle_name),
+        registry.counter("engine_blocks_total", oracle=oracle_name),
+    )
+
+
+def _block_span(telemetry):
+    """A timing context for one privatise+aggregate block (no-op when off)."""
+    if telemetry is None:
+        return _NULL_SPAN
+    histogram, blocks = telemetry
+    blocks.inc()
+    return _obs.Span(histogram)
+
+
 def batch_support(
     oracle,
     values: Union[np.ndarray, tuple],
@@ -73,10 +105,12 @@ def batch_support(
     cols = _columns(values)
     n = int(cols[0].size)
     width = max(1, int(oracle.communication_bits()))
+    telemetry = _telemetry(oracle, n)
     support = None
-    for span in batch_spans(n, width, block_elements):
-        reports = oracle.privatize_many(*(col[span] for col in cols))
-        block = oracle.aggregate_batch(reports)
+    for cut in batch_spans(n, width, block_elements):
+        with _block_span(telemetry):
+            reports = oracle.privatize_many(*(col[cut] for col in cols))
+            block = oracle.aggregate_batch(reports)
         support = block if support is None else support + block
     if support is None:  # empty batch: aggregate nothing for typed zeros
         reports = oracle.privatize_many(*(col[:0] for col in cols))
@@ -102,8 +136,10 @@ def grouped_batch_support(
     groups = np.asarray(groups, dtype=np.int64).ravel()
     values = np.asarray(values, dtype=np.int64).ravel()
     width = int(oracle.domain_size)
+    telemetry = _telemetry(oracle, values.size)
     out = np.zeros((int(n_groups), width), dtype=np.int64)
-    for span in batch_spans(values.size, width, block_elements):
-        bits = np.asarray(oracle.privatize_many(values[span]), dtype=np.int64)
-        np.add.at(out, groups[span], bits)
+    for cut in batch_spans(values.size, width, block_elements):
+        with _block_span(telemetry):
+            bits = np.asarray(oracle.privatize_many(values[cut]), dtype=np.int64)
+            np.add.at(out, groups[cut], bits)
     return out

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..exceptions import AggregationError
+from ..obs import metrics as _obs
 
 
 def as_report_array(reports, name: str = "categorical") -> np.ndarray:
@@ -52,12 +53,22 @@ def categorical_support(reports, domain_size: int, name: str = "categorical") ->
     arr = as_report_array(reports, name)
     if arr.size and (arr.min() < 0 or arr.max() >= domain_size):
         raise AggregationError(f"{name} report outside domain [0, {domain_size})")
+    registry = _obs.get_registry()
+    if registry.enabled:
+        registry.counter(
+            "kernel_support_reports_total", kernel="categorical"
+        ).inc(int(arr.size))
     return np.bincount(arr, minlength=domain_size).astype(np.int64)
 
 
 def bit_matrix_support(reports, width: int, name: str = "bit-vector") -> np.ndarray:
     """Support counts of bit-vector reports: the validated column sum."""
     bits = as_report_matrix(reports, width, name)
+    registry = _obs.get_registry()
+    if registry.enabled:
+        registry.counter(
+            "kernel_support_reports_total", kernel="bit_matrix"
+        ).inc(int(bits.shape[0]))
     return bits.sum(axis=0, dtype=np.int64)
 
 
@@ -81,6 +92,23 @@ def perturb_onehot_batch(
     :func:`repro.mechanisms.engine.batch_support`, which blocks the input.
     """
     positions = np.asarray(positions, dtype=np.int64).ravel()
+    registry = _obs.get_registry()
+    if not registry.enabled:
+        return _perturb_onehot(positions, width, p, q, rng)
+    registry.histogram(
+        "kernel_onehot_rows", buckets=_obs.DEFAULT_COUNT_BUCKETS
+    ).observe(positions.size)
+    with registry.span("kernel_onehot_seconds"):
+        return _perturb_onehot(positions, width, p, q, rng)
+
+
+def _perturb_onehot(
+    positions: np.ndarray,
+    width: int,
+    p: float,
+    q: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
     u = rng.random((positions.size, width))
     bits = u < q
     rows = np.arange(positions.size)

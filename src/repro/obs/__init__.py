@@ -1,0 +1,58 @@
+"""Unified telemetry plane: metrics, spans, structured logs, exposition.
+
+Dependency-free observability for the whole stack.  One process-wide
+:class:`MetricsRegistry` holds counters, gauges, and fixed-bucket
+histograms; instruments are no-ops while the registry is disabled (the
+default — flip with ``REPRO_OBS=1``, :func:`enable`, or the
+:class:`enabled` context manager).  :func:`span` times a block against a
+histogram, :func:`log_event` emits newline-delimited JSON records, and
+the :mod:`~repro.obs.prom` / :mod:`~repro.obs.http` modules render the
+registry as Prometheus text (``repro obs dump``, ``/metrics``).
+"""
+
+from .log import JsonLogger, configure_logging, get_logger, log_event
+from .metrics import (
+    DEFAULT_COUNT_BUCKETS,
+    DEFAULT_TIME_BUCKETS,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Span,
+    disable,
+    enable,
+    enabled,
+    get_registry,
+    merge_snapshots,
+    series_key,
+    span,
+)
+from .prom import render, render_snapshot, write_snapshot
+from .http import start_metrics_server
+
+__all__ = [
+    "SNAPSHOT_SCHEMA",
+    "DEFAULT_TIME_BUCKETS",
+    "DEFAULT_COUNT_BUCKETS",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Span",
+    "series_key",
+    "get_registry",
+    "enable",
+    "disable",
+    "enabled",
+    "span",
+    "merge_snapshots",
+    "render",
+    "render_snapshot",
+    "write_snapshot",
+    "start_metrics_server",
+    "JsonLogger",
+    "get_logger",
+    "configure_logging",
+    "log_event",
+]

@@ -1,0 +1,100 @@
+"""A tiny asyncio HTTP handler exposing ``/metrics``.
+
+``repro-serve --metrics-port`` mounts this next to the report collector:
+one ``asyncio.start_server`` loop that answers ``GET /metrics`` with the
+Prometheus text exposition of the supplied registries and closes the
+connection.  It speaks just enough HTTP/1.0 for ``curl`` and a
+Prometheus scraper — request line plus headers in, fixed response out —
+and deliberately nothing more (no keep-alive, no chunking, no routing
+table), so the serving path stays dependency-free.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Awaitable, Callable, Iterable, Optional
+
+from . import prom
+from .metrics import MetricsRegistry
+
+_MAX_REQUEST_BYTES = 8192
+
+
+def _response(status: str, body: str, content_type: str = "text/plain") -> bytes:
+    payload = body.encode("utf-8")
+    head = (
+        f"HTTP/1.0 {status}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("ascii") + payload
+
+
+async def _handle(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    render: Callable[[], str],
+) -> None:
+    try:
+        try:
+            request = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.IncompleteReadError as exc:
+            request = exc.partial
+        except asyncio.LimitOverrunError:
+            writer.write(_response("431 Request Header Fields Too Large", ""))
+            return
+        line = request.split(b"\r\n", 1)[0].decode("latin-1", "replace")
+        parts = line.split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/"):
+            writer.write(_response("400 Bad Request", "bad request\n"))
+            return
+        method, path = parts[0], parts[1].split("?", 1)[0]
+        if method != "GET":
+            writer.write(_response("405 Method Not Allowed", "GET only\n"))
+        elif path == "/metrics":
+            writer.write(
+                _response(
+                    "200 OK",
+                    render(),
+                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                )
+            )
+        else:
+            writer.write(_response("404 Not Found", "try /metrics\n"))
+        await writer.drain()
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def start_metrics_server(
+    host: str,
+    port: int,
+    registries: Iterable[MetricsRegistry],
+    *,
+    render: Optional[Callable[[], str]] = None,
+) -> asyncio.AbstractServer:
+    """Serve ``GET /metrics`` for ``registries`` on ``host:port``.
+
+    Returns the listening :class:`asyncio.AbstractServer`; the caller
+    owns its lifetime (``server.close()`` / ``await server.wait_closed()``).
+    ``render`` overrides the default merged-registry Prometheus renderer
+    (used by tests and by callers that add derived series).
+    """
+    registries = tuple(registries)
+    if render is None:
+        render = lambda: prom.render(*registries)  # noqa: E731
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle(reader, writer, render)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=_MAX_REQUEST_BYTES
+    )

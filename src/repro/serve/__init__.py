@@ -39,7 +39,7 @@ Run a standalone collector with ``repro-serve`` (``python -m
 repro.serve``) and benchmark throughput with ``repro-bench serve``.
 """
 
-from .client import ReportClient, generate_load
+from .client import ReportClient, fetch_stats, generate_load
 from .collector import ReportCollector
 from .protocol import ServeError, WireError
 from .registry import HostedSession, SessionRegistry, canonical_config
@@ -52,5 +52,6 @@ __all__ = [
     "SessionRegistry",
     "WireError",
     "canonical_config",
+    "fetch_stats",
     "generate_load",
 ]

@@ -14,11 +14,11 @@ configurable connection count and chunking.
 from __future__ import annotations
 
 import asyncio
-import time
 from typing import Optional
 
 import numpy as np
 
+from ..obs.metrics import span as obs_span
 from . import protocol
 from .protocol import ServeError
 
@@ -115,6 +115,19 @@ class ReportClient:
     async def stats(self) -> dict:
         return await self.query("stats")
 
+    async def server_stats(self) -> dict:
+        """Poll the collector's live telemetry (the STATS wire frame).
+
+        Unlike :meth:`stats` (a session-scoped query that drains first)
+        this reads the collector's own counters — frames decoded,
+        reports ingested, per-session lags, and the full metrics
+        snapshot — without touching any session's work queue.
+        """
+        reply = await protocol.request(
+            self._reader, self._writer, protocol.stats_frame()
+        )
+        return reply["result"]
+
     async def advance_round(self) -> dict:
         """Advance a hosted top-k session's mining round (control plane)."""
         return await self.query("advance_round")
@@ -183,11 +196,11 @@ async def generate_load(
             raise
         return await client.close()
 
-    start = time.perf_counter()
-    ingested = await asyncio.gather(
-        *(one_connection(part) for part in slices)
-    )
-    elapsed = time.perf_counter() - start
+    with obs_span("client_load_seconds") as timer:
+        ingested = await asyncio.gather(
+            *(one_connection(part) for part in slices)
+        )
+    elapsed = timer.elapsed
     total = int(sum(ingested))
     if total != labels.size:
         raise ServeError(
@@ -200,3 +213,25 @@ async def generate_load(
         "reports_per_sec": total / elapsed if elapsed > 0 else float("inf"),
         "n_connections": int(n_connections),
     }
+
+
+async def fetch_stats(host: str, port: int) -> dict:
+    """One-shot telemetry poll of a running collector.
+
+    Connects, sends a bare STATS frame (no session handshake — the
+    collector answers STATS pre-HELLO), and returns the payload.  This
+    is what a monitor sidecar or the load-generation example use to
+    watch ingest progress from outside every session.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        reply = await protocol.request(
+            reader, writer, protocol.stats_frame()
+        )
+        return reply["result"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass

@@ -28,6 +28,8 @@ import asyncio
 from typing import Optional
 
 from ..exceptions import ReproError
+from ..obs.log import log_event
+from ..obs.metrics import MetricsRegistry
 from . import protocol
 from .protocol import ServeError, WireError
 from .registry import SessionRegistry
@@ -50,6 +52,12 @@ class ReportCollector:
     default_shards / flush_reports / high_water / record:
         Registry defaults when ``registry`` is omitted (see
         :class:`~repro.serve.registry.SessionRegistry`).
+    metrics:
+        The collector's telemetry registry.  Defaults to a private
+        *always-enabled* :class:`~repro.obs.metrics.MetricsRegistry` —
+        the STATS frame and ``/metrics`` endpoint reconcile against it,
+        so it stays exact regardless of the process-wide telemetry
+        switch.
     """
 
     def __init__(
@@ -63,23 +71,34 @@ class ReportCollector:
         high_water: int = 262_144,
         record: bool = False,
         max_sessions: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if flush_interval <= 0:
             raise ServeError(
                 f"flush_interval must be positive, got {flush_interval!r}"
             )
-        self.registry = registry if registry is not None else SessionRegistry(
-            default_shards=default_shards,
-            flush_reports=flush_reports,
-            high_water=high_water,
-            record=record,
-            max_sessions=max_sessions,
+        self.metrics = metrics if metrics is not None else MetricsRegistry(
+            enabled=True
         )
+        if registry is not None:
+            self.registry = registry
+            if self.registry.metrics is None:
+                self.registry.metrics = self.metrics
+        else:
+            self.registry = SessionRegistry(
+                default_shards=default_shards,
+                flush_reports=flush_reports,
+                high_water=high_water,
+                record=record,
+                max_sessions=max_sessions,
+                metrics=self.metrics,
+            )
         self._bind_host = host
         self._bind_port = port
         self.flush_interval = float(flush_interval)
         self._server: Optional[asyncio.AbstractServer] = None
         self._flusher: Optional[asyncio.Task] = None
+        self._next_connection_id = 0
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -147,22 +166,49 @@ class ReportCollector:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        connection_id = self._next_connection_id
+        self._next_connection_id += 1
+        self.metrics.counter("serve_connections_total").inc()
+        self.metrics.gauge("serve_connections_active").inc()
+        log_event("serve.connection.open", connection=connection_id)
         try:
-            await self._serve_connection(reader, writer)
+            await self._serve_connection(reader, writer, connection_id)
         except (asyncio.IncompleteReadError, ConnectionError):
             pass  # peer went away mid-frame; its flushed reports stand
         except Exception as error:  # noqa: BLE001 - untrusted peer input;
             # report whatever a frame provoked instead of dropping silently
+            self.metrics.counter("serve_frames_rejected_total").inc()
             await self._try_reply(writer, protocol.error_frame(error))
         finally:
+            self.metrics.gauge("serve_connections_active").dec()
+            log_event("serve.connection.close", connection=connection_id)
             writer.close()
             try:
                 await writer.wait_closed()
             except ConnectionError:  # pragma: no cover - platform dependent
                 pass
 
-    async def _serve_connection(self, reader, writer) -> None:
-        frame_type, body = await protocol.read_frame(reader)
+    async def _read_frame(self, reader) -> tuple[int, bytes]:
+        """Read and count one frame (rejected frames tally separately)."""
+        try:
+            frame_type, body = await protocol.read_frame(reader)
+        except WireError:
+            self.metrics.counter("serve_frames_rejected_total").inc()
+            raise
+        self.metrics.counter(
+            "serve_frames_total", type=protocol.FRAME_NAMES[frame_type]
+        ).inc()
+        return frame_type, body
+
+    async def _serve_connection(self, reader, writer, connection_id) -> None:
+        while True:
+            frame_type, body = await self._read_frame(reader)
+            if frame_type != protocol.STATS:
+                break
+            # Monitors may poll a running collector without joining a
+            # session: STATS is answerable before the HELLO handshake.
+            writer.write(protocol.reply_frame(self.stats()))
+            await writer.drain()
         if frame_type != protocol.HELLO:
             raise WireError("connection must open with a HELLO frame")
         try:
@@ -170,6 +216,12 @@ class ReportCollector:
         except ReproError as error:
             await self._try_reply(writer, protocol.error_frame(error))
             return
+        log_event(
+            "serve.session.join",
+            connection=connection_id,
+            session=hosted.session_id,
+            created=created,
+        )
         writer.write(
             protocol.reply_frame(
                 {
@@ -183,12 +235,17 @@ class ReportCollector:
 
         accepted = 0
         while True:
-            frame_type, body = await protocol.read_frame(reader)
+            frame_type, body = await self._read_frame(reader)
             if frame_type == protocol.REPORTS:
                 labels, items = protocol.decode_reports(body)
-                accepted += hosted.buffer(labels, items)
+                n = hosted.buffer(labels, items)
+                accepted += n
+                self.metrics.counter("serve_reports_ingested_total").inc(n)
                 hosted.try_flush(only_full=True)
                 await hosted.wait_writable()
+            elif frame_type == protocol.STATS:
+                writer.write(protocol.reply_frame(self.stats()))
+                await writer.drain()
             elif frame_type == protocol.QUERY:
                 spec = protocol.decode_json(body)
                 try:
@@ -209,6 +266,42 @@ class ReportCollector:
                 raise WireError(
                     f"unexpected frame type {frame_type:#x} mid-session"
                 )
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """The live telemetry payload answered to a STATS frame.
+
+        Loop-thread only; never drains or blocks, so a monitor poll is
+        cheap even under full ingest load.  ``collector`` summarises the
+        wire-level counters, ``sessions`` the per-session ingest lags,
+        and ``metrics`` is the full registry snapshot.
+        """
+        snapshot = self.metrics.snapshot()
+        counters = snapshot["counters"]
+        frames = {
+            name: counters[key]
+            for name in protocol.FRAME_NAMES.values()
+            if (key := f'serve_frames_total{{type="{name}"}}') in counters
+        }
+        return {
+            "collector": {
+                "host": self.host,
+                "port": self.port,
+                "connections_total": counters.get("serve_connections_total", 0),
+                "connections_active": int(
+                    snapshot["gauges"].get("serve_connections_active", 0)
+                ),
+                "frames": frames,
+                "frames_rejected": counters.get("serve_frames_rejected_total", 0),
+                "reports_ingested": counters.get("serve_reports_ingested_total", 0),
+            },
+            "sessions": [
+                hosted.ingest_stats() for hosted in self.registry.sessions()
+            ],
+            "metrics": snapshot,
+        }
 
     async def _try_reply(self, writer, frame: bytes) -> None:
         try:

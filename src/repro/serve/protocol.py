@@ -17,6 +17,12 @@ Every message on a collector connection is one *frame*::
     ERROR   (0x05)  JSON ``{"ok": false, "error": msg, "kind": cls}``.
     BYE     (0x06)  empty body; the collector settles the connection's
                     buffered reports and replies with the ingested count.
+    STATS   (0x07)  empty body; the collector replies with its live
+                    telemetry — frames decoded/rejected, reports
+                    ingested, per-session ingest state, and a metrics
+                    registry snapshot.  Accepted before the HELLO
+                    handshake, so a monitor can poll a running collector
+                    without joining a session.
 
 The codec is symmetric — client and collector share these helpers — and
 pure plain-data (struct + JSON + fixed-width integer arrays, no
@@ -43,8 +49,20 @@ QUERY = 0x03
 REPLY = 0x04
 ERROR = 0x05
 BYE = 0x06
+STATS = 0x07
 
-_FRAME_TYPES = frozenset((HELLO, REPORTS, QUERY, REPLY, ERROR, BYE))
+_FRAME_TYPES = frozenset((HELLO, REPORTS, QUERY, REPLY, ERROR, BYE, STATS))
+
+#: Human-readable frame names (telemetry labels, log records).
+FRAME_NAMES = {
+    HELLO: "hello",
+    REPORTS: "reports",
+    QUERY: "query",
+    REPLY: "reply",
+    ERROR: "error",
+    BYE: "bye",
+    STATS: "stats",
+}
 
 #: Hard cap on one frame's payload (type byte + body).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
@@ -224,6 +242,11 @@ def query_frame(query: str, **params) -> bytes:
 
 def bye_frame() -> bytes:
     return encode_frame(BYE)
+
+
+def stats_frame() -> bytes:
+    """The telemetry poll frame (empty body; answered with a REPLY)."""
+    return encode_frame(STATS)
 
 
 def chunk_spans(n: int, chunk_size: Optional[int] = None):

@@ -34,6 +34,8 @@ import numpy as np
 
 from ..exceptions import DomainError
 from ..mechanisms.engine import batch_spans
+from ..obs.log import log_event
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
 from ..rng import ensure_rng, spawn
 from ..stream import (
     AggregatorDrain,
@@ -199,6 +201,7 @@ class HostedSession:
         flush_reports: int = 8192,
         high_water: int = 262_144,
         record: bool = False,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if flush_reports < 1:
             raise ServeError(f"flush_reports must be >= 1, got {flush_reports}")
@@ -225,6 +228,25 @@ class HostedSession:
         self._lock = asyncio.Lock()
         self._resume = asyncio.Event()
         self._resume.set()
+        # Hosted sessions live in the event-loop process only (never
+        # pickled), so caching instruments here is safe and keeps the
+        # REPORTS hot path at one attribute check.
+        self._metrics = metrics
+        if metrics is not None:
+            self._m_flush = metrics.histogram(
+                "serve_flush_reports",
+                buckets=DEFAULT_COUNT_BUCKETS,
+                session=self.session_id,
+            )
+            self._m_pending = metrics.gauge(
+                "serve_session_pending", session=self.session_id
+            )
+            self._m_pause = metrics.counter(
+                "serve_backpressure_pause_total", session=self.session_id
+            )
+            self._m_resume = metrics.counter(
+                "serve_backpressure_resume_total", session=self.session_id
+            )
 
     # ------------------------------------------------------------------
     # buffering and flushing (event-loop thread only)
@@ -262,6 +284,8 @@ class HostedSession:
                     self._class_items[label].append(sorted_items[lo:hi])
         self._buffered += n
         self.n_accepted += n
+        if self._metrics is not None:
+            self._m_pending.set(self.pending)
         return n
 
     def flush(self) -> int:
@@ -290,6 +314,8 @@ class HostedSession:
         items = np.concatenate(item_parts)
         flushed = int(labels.size)
         self._buffered -= flushed
+        if self._metrics is not None:
+            self._m_flush.observe(flushed)
         loop = asyncio.get_running_loop()
         for span in batch_spans(flushed, 1, self.flush_reports):
             chunk_labels, chunk_items = labels[span], items[span]
@@ -319,6 +345,8 @@ class HostedSession:
 
     def _mark_drained(self, n: int) -> None:
         self._inflight -= n
+        if self._metrics is not None:
+            self._m_pending.set(self.pending)
         if self.pending <= self.low_water:
             self._resume.set()
 
@@ -328,10 +356,28 @@ class HostedSession:
     async def wait_writable(self) -> None:
         """Pause the caller (and so its socket reads) above the high-water
         mark until ingestion catches up below the low-water mark."""
+        paused = False
         while self.pending > self.high_water:
+            if not paused:
+                paused = True
+                if self._metrics is not None:
+                    self._m_pause.inc()
+                log_event(
+                    "serve.backpressure.pause",
+                    session=self.session_id,
+                    pending=self.pending,
+                )
             self.try_flush()
             self._resume.clear()
             await self._resume.wait()
+        if paused:
+            if self._metrics is not None:
+                self._m_resume.inc()
+            log_event(
+                "serve.backpressure.resume",
+                session=self.session_id,
+                pending=self.pending,
+            )
 
     # ------------------------------------------------------------------
     # queries and settling
@@ -415,6 +461,25 @@ class HostedSession:
             stats["n_ingested"] = self._drain.n_drained
         return stats
 
+    def ingest_stats(self) -> dict:
+        """Loop-thread-safe ingest counters for the STATS frame.
+
+        Unlike :meth:`_stats` (the ``stats`` query, which drains first on
+        a worker thread) this never touches the drain adapter's work
+        queue, so the collector can answer a STATS poll without blocking
+        the event loop: ``pending`` here is the live ingest lag —
+        accepted minus folded-in reports.
+        """
+        return {
+            "session": self.session_id,
+            "kind": self.kind,
+            "n_accepted": int(self.n_accepted),
+            "buffered": int(self._buffered),
+            "inflight": int(self._inflight),
+            "pending": int(self.n_accepted - self._drain.n_drained),
+            "n_drained": int(self._drain.n_drained),
+        }
+
     def close(self) -> None:
         self._drain.close()
 
@@ -441,12 +506,14 @@ class SessionRegistry:
         high_water: int = 262_144,
         record: bool = False,
         max_sessions: int = 256,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.default_shards = int(default_shards)
         self.flush_reports = int(flush_reports)
         self.high_water = int(high_water)
         self.record = bool(record)
         self.max_sessions = int(max_sessions)
+        self.metrics = metrics
         self._sessions: dict[str, HostedSession] = {}
 
     def open(self, raw_config: dict) -> tuple[HostedSession, bool]:
@@ -471,8 +538,16 @@ class SessionRegistry:
             flush_reports=self.flush_reports,
             high_water=self.high_water,
             record=self.record,
+            metrics=self.metrics,
         )
         self._sessions[config["session"]] = hosted
+        if self.metrics is not None:
+            self.metrics.gauge("serve_sessions_active").set(len(self._sessions))
+        log_event(
+            "serve.session.create",
+            session=config["session"],
+            kind=config["kind"],
+        )
         return hosted, True
 
     def get(self, session_id: str) -> HostedSession:

@@ -35,6 +35,7 @@ from typing import Optional
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs import metrics as _obs
 
 #: One recorded submission: ``(shard_index, labels, items)``.
 DrainLogEntry = tuple[int, np.ndarray, np.ndarray]
@@ -71,6 +72,13 @@ class BatchDrain:
         #: Reports folded into the underlying state across all drains.
         self.n_drained = 0
         self.drain_log: Optional[list[DrainLogEntry]] = [] if record else None
+
+    def _observe_drain(self, drained: int) -> None:
+        registry = _obs.get_registry()
+        if registry.enabled and drained:
+            registry.counter(
+                "drain_reports_total", adapter=type(self).__name__
+            ).inc(int(drained))
 
     def submit(self, labels, items) -> Future:
         raise NotImplementedError
@@ -153,6 +161,7 @@ class AggregatorDrain(BatchDrain):
     def drain(self) -> int:
         drained = self._aggregator.drain()
         self.n_drained += drained
+        self._observe_drain(drained)
         self._apply_decay(drained, self._aggregator.partials())
         return drained
 
@@ -208,6 +217,7 @@ class SessionDrain(BatchDrain):
         futures, self._futures = self._futures, []
         drained = sum(int(future.result() or 0) for future in futures)
         self.n_drained += drained
+        self._observe_drain(drained)
         self._apply_decay(drained, (self._target,))
         return drained
 

@@ -54,6 +54,7 @@ from ..mechanisms.correlated import CorrelatedPerturbation, CorrelatedSupport
 from ..mechanisms.engine import batch_support, grouped_batch_support
 from ..mechanisms.grr import GeneralizedRandomResponse
 from ..mechanisms.ue import OptimizedUnaryEncoding
+from ..obs import metrics as _obs
 from ..rng import RngLike, ensure_rng
 
 
@@ -123,6 +124,14 @@ class OnlineFrameworkSession:
         else:
             self._ingest_protocol(labels, items)
         self._n += labels.size
+        # Instruments are fetched per call, never cached on the session:
+        # sessions pickle into process-pool shard workers and must not
+        # carry lock-bearing telemetry objects.
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "stream_ingested_total", framework=self.name
+            ).inc(int(labels.size))
         return int(labels.size)
 
     def ingest_dataset(self, dataset, batch_size: int = 65_536) -> int:
@@ -199,6 +208,9 @@ class OnlineFrameworkSession:
                 self, "_" + field, np.rint(arr * factor).astype(np.int64)
             )
         self._n = int(round(self._n * factor))
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("stream_decay_total", framework=self.name).inc()
 
     # ------------------------------------------------------------------
     # merging

@@ -34,6 +34,7 @@ from functools import reduce
 from typing import Callable, Optional, Sequence, Union
 
 from ..exceptions import ConfigurationError
+from ..obs import metrics as _obs
 
 #: Anything shard-shaped: ingest_batch(batch) + merge(other).
 Mergeable = object
@@ -154,6 +155,9 @@ class ShardedAggregator:
         self._futures: list[Future] = []
         self._next = 0
         self._closed = False
+        # Per-shard submitted-batch tallies (plain ints — cheap enough to
+        # keep unconditionally; the imbalance gauge reads them at drain).
+        self._shard_batches = [0] * len(self._shards)
 
     # ------------------------------------------------------------------
     # ingestion
@@ -180,6 +184,7 @@ class ShardedAggregator:
             raise ConfigurationError(
                 f"shard {shard} outside [0, {len(self._shards)})"
             )
+        self._shard_batches[shard] += 1
         if self._pending is not None:
             # Process mode: queue locally; the batch ships at drain time
             # (or when the future itself is awaited).
@@ -207,6 +212,20 @@ class ShardedAggregator:
         queued batches ship to a pool worker together with the shard's
         current state, and the returned state replaces it.
         """
+        registry = _obs.get_registry()
+        if not registry.enabled:
+            return self._drain_all()
+        with registry.span(
+            "shard_drain_seconds", executor=self.executor
+        ):
+            total = self._drain_all()
+        registry.counter("shard_drained_reports_total").inc(total)
+        registry.gauge("shard_imbalance_batches").set(
+            max(self._shard_batches) - min(self._shard_batches)
+        )
+        return total
+
+    def _drain_all(self) -> int:
         if self._pending is not None:
             self._futures = []
             return self._drain_process()

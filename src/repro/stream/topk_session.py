@@ -48,6 +48,7 @@ from ..mechanisms.engine import batch_support
 from ..mechanisms.grr import GeneralizedRandomResponse
 from ..mechanisms.ue import OptimizedUnaryEncoding
 from ..mechanisms.validity import ValidityPerturbation
+from ..obs import metrics as _obs
 from ..rng import RngLike, ensure_rng
 
 
@@ -205,6 +206,11 @@ class OnlineTopKSession:
             self._ingest_simulated(labels, items)
         self._round_n += labels.size
         self._n += labels.size
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                "stream_ingested_total", framework="topk"
+            ).inc(int(labels.size))
         return int(labels.size)
 
     def _ingest_simulated(self, labels: np.ndarray, items: np.ndarray) -> None:
@@ -305,6 +311,9 @@ class OnlineTopKSession:
             self._depth = min(self._depth + self.extension_bits, self.total_bits)
         self._round += 1
         self._round_n = 0
+        registry = _obs.get_registry()
+        if registry.enabled:
+            registry.counter("topk_rounds_total").inc()
 
     # ------------------------------------------------------------------
     # queries

@@ -180,6 +180,77 @@ class TestCLI:
         assert args.port == 9009
         assert args.shards == 1
         assert args.flush_reports == 8192
+        assert args.metrics_port is None
+        assert args.log_json is None
+
+    def test_bench_artifacts_carry_meta(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.bench.reporting import BENCH_META_SCHEMA
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_stream.json"
+        monkeypatch.setenv("REPRO_BENCH_STREAM_ARTIFACT", str(artifact))
+        assert (
+            main(
+                ["stream", "--users", "8000", "--batch-size", "4000", "--shards", "2"]
+            )
+            == 0
+        )
+        meta = json.loads(artifact.read_text())["meta"]
+        assert meta["schema"] == BENCH_META_SCHEMA
+        for key in ("host", "platform", "python", "numpy"):
+            assert isinstance(meta[key], str)
+        # spawned seeds make the run replayable from the JSON alone
+        assert set(meta["shard_seeds"]) == {"hec", "ptj", "pts", "pts-cp"}
+        assert all(len(seeds) == 2 for seeds in meta["shard_seeds"].values())
+        # and the telemetry snapshot captured the instrumented run
+        metrics = meta["metrics"]
+        assert any(
+            key.startswith("bench_stream_seconds") for key in metrics["histograms"]
+        )
+        assert any(
+            key.startswith("stream_ingested_total") for key in metrics["counters"]
+        )
+
+
+class TestObsCLI:
+    def test_dump_json_live_registry(self, capsys):
+        import json
+
+        assert main(["obs", "dump", "--format=json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["schema"] == 1
+        assert set(snapshot) == {"schema", "counters", "gauges", "histograms"}
+
+    def test_dump_prom_from_bench_artifact(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_protocol.json"
+        monkeypatch.setenv("REPRO_BENCH_PROTOCOL_ARTIFACT", str(artifact))
+        assert main(["protocol", "--quick", "--users", "2000"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "dump", "--format=prom", "--input", str(artifact)]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE bench_protocol_seconds histogram" in out
+        assert "bench_protocol_seconds_count" in out
+
+    def test_dump_json_from_raw_snapshot(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("c").inc(5)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        assert main(["obs", "dump", "--input", str(path)]) == 0
+        assert json.loads(capsys.readouterr().out)["counters"]["c"] == 5
+
+    def test_dump_rejects_unrecognised_input(self, capsys, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"tables": []}')
+        assert main(["obs", "dump", "--input", str(path)]) == 2
+        assert "neither" in capsys.readouterr().err
 
     def test_stream_honors_scale_env(self, capsys, tmp_path, monkeypatch):
         import json
