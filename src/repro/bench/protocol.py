@@ -25,6 +25,8 @@ import numpy as np
 from ..core.frameworks import make_framework
 from ..datasets import LabelItemDataset
 from ..exceptions import ConfigurationError
+from ..mechanisms.backends import backend_info, use_backend
+from ..mechanisms.engine import set_default_threads
 from ..metrics import rmse
 from ..obs import metrics as obs_metrics
 from ..rng import RngLike, ensure_rng, spawn_seeds
@@ -86,8 +88,19 @@ def run_protocol_benchmark(
     epsilon: float = 1.0,
     frameworks: Sequence[str] = PROTOCOL_FRAMEWORKS,
     artifact: Optional[str] = None,
+    backend: Optional[str] = None,
+    threads: Optional[object] = None,
 ) -> tuple[str, dict]:
-    """Run the protocol-mode benchmark; returns ``(report, payload)``."""
+    """Run the protocol-mode benchmark; returns ``(report, payload)``.
+
+    ``backend`` pins the kernel backend for the run (``"numpy"``,
+    ``"numba"``, or ``"auto"``/``None`` — resolution as in
+    :func:`repro.mechanisms.backends.resolve_backend`); ``threads`` is
+    the engine's block-thread count (``None`` keeps the serial schedule,
+    ``"auto"`` sizes to the CPU count).  Both land in the artifact's
+    ``meta`` block so a recorded rate is attributable to its
+    configuration.
+    """
     if scale not in SCALES:
         raise ConfigurationError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
     params = dict(SCALES[scale])
@@ -111,7 +124,67 @@ def run_protocol_benchmark(
     per_framework: dict[str, dict] = {}
     role_seeds: dict[str, dict[str, int]] = {}
     registry = obs_metrics.get_registry()
-    with obs_metrics.enabled():
+    previous_threads = set_default_threads(threads)
+    try:
+        run_backend, resolved_threads = _measure(
+            frameworks, rng, role_seeds, rows, per_framework,
+            dataset=dataset, truth=truth, labels=labels, items=items,
+            epsilon=epsilon, n=n, c=c, d=d, backend=backend,
+        )
+    finally:
+        set_default_threads(previous_threads)
+
+    payload = {
+        "scale": scale,
+        "seed": seed,
+        "epsilon": epsilon,
+        "n_users": n,
+        "n_classes": c,
+        "n_items": d,
+        "baseline_sample": min(BASELINE_SAMPLE, n),
+        "frameworks": per_framework,
+        "meta": bench_meta(
+            role_seeds=role_seeds,
+            metrics=registry.snapshot(),
+            backend=run_backend,
+            threads=resolved_threads,
+        ),
+    }
+    artifact_path = Path(artifact) if artifact is not None else _artifact_path()
+    try:
+        artifact_path.write_text(json.dumps(payload, indent=2) + "\n")
+        artifact_note = f"artifact: {artifact_path}"
+    except OSError as error:
+        artifact_note = f"artifact not written ({error})"
+
+    report = format_table(
+        f"Protocol-mode throughput (scale={scale}, c={c}, d={d}, eps={epsilon}, "
+        f"backend={run_backend['name']})",
+        ["framework", "users", "sec", "users/sec", "looped/sec", "speedup", "RMSE"],
+        rows,
+        note=(
+            "one report per user through the vectorised report-plane engine; "
+            f"looped baseline timed on {min(BASELINE_SAMPLE, n):,} users; "
+            f"{artifact_note}"
+        ),
+    )
+    return report, payload
+
+
+def _measure(
+    frameworks, rng, role_seeds, rows, per_framework, *,
+    dataset, truth, labels, items, epsilon, n, c, d, backend,
+):
+    """Timed section of the bench under the pinned backend; returns the
+    resolved backend info and effective thread count for the meta block."""
+    from ..mechanisms.engine import _resolve_threads
+
+    with use_backend(backend), obs_metrics.enabled():
+        run_backend = backend_info()
+        # "serial" = the legacy sequential-stream schedule (threads=None);
+        # an integer means the deterministic split-stream schedule.
+        resolved = _resolve_threads(None)
+        resolved_threads = "serial" if resolved is None else resolved
         for name in frameworks:
             # One spawned child per role so framework runs and looped
             # baselines never share a stream (or the data-generation
@@ -159,35 +232,4 @@ def run_protocol_benchmark(
                 "speedup_vs_looped": speedup,
                 "rmse": error,
             }
-
-    payload = {
-        "scale": scale,
-        "seed": seed,
-        "epsilon": epsilon,
-        "n_users": n,
-        "n_classes": c,
-        "n_items": d,
-        "baseline_sample": min(BASELINE_SAMPLE, n),
-        "frameworks": per_framework,
-        "meta": bench_meta(
-            role_seeds=role_seeds, metrics=registry.snapshot()
-        ),
-    }
-    artifact_path = Path(artifact) if artifact is not None else _artifact_path()
-    try:
-        artifact_path.write_text(json.dumps(payload, indent=2) + "\n")
-        artifact_note = f"artifact: {artifact_path}"
-    except OSError as error:
-        artifact_note = f"artifact not written ({error})"
-
-    report = format_table(
-        f"Protocol-mode throughput (scale={scale}, c={c}, d={d}, eps={epsilon})",
-        ["framework", "users", "sec", "users/sec", "looped/sec", "speedup", "RMSE"],
-        rows,
-        note=(
-            "one report per user through the vectorised report-plane engine; "
-            f"looped baseline timed on {min(BASELINE_SAMPLE, n):,} users; "
-            f"{artifact_note}"
-        ),
-    )
-    return report, payload
+    return run_backend, resolved_threads

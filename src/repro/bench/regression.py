@@ -58,6 +58,33 @@ def extract_rates(payload: dict) -> dict[str, float]:
     return rates
 
 
+def config_summary(payload: dict) -> Optional[str]:
+    """The execution configuration a bench artifact's rates belong to.
+
+    Pulls the kernel backend, engine thread schedule and shard transport
+    from the artifact's ``meta`` block (and top-level ``executor``), so
+    the gate can flag comparisons across differing configurations — a
+    numba-backed fresh run against a numpy baseline clears the gate
+    trivially, and the inverse would fail it for the wrong reason.
+    """
+    meta = payload.get("meta") or {}
+    parts = []
+    backend = meta.get("backend")
+    if isinstance(backend, dict) and backend.get("name"):
+        parts.append(f"backend={backend['name']}")
+    elif isinstance(backend, str):
+        parts.append(f"backend={backend}")
+    if meta.get("threads") is not None:
+        parts.append(f"threads={meta['threads']}")
+    executor = payload.get("executor")
+    if executor:
+        parts.append(f"executor={executor}")
+    transport = meta.get("transport") or payload.get("transport")
+    if transport:
+        parts.append(f"transport={transport}")
+    return " ".join(parts) or None
+
+
 def compare(
     baseline: dict,
     fresh: dict,
@@ -67,12 +94,25 @@ def compare(
 
     ``regressions`` holds the series keys that dropped by more than
     ``threshold``; ``lines`` is a human-readable account of every shared
-    series plus notes for one-sided ones.
+    series plus notes for one-sided ones and for differing run
+    configurations (backend / threads / transport).
     """
     base_rates = extract_rates(baseline)
     fresh_rates = extract_rates(fresh)
     regressions: list[str] = []
     lines: list[str] = []
+    base_config = config_summary(baseline)
+    fresh_config = config_summary(fresh)
+    if base_config or fresh_config:
+        lines.append(
+            f"  config     baseline[{base_config or '?'}] "
+            f"fresh[{fresh_config or '?'}]"
+        )
+        if base_config != fresh_config:
+            lines.append(
+                "  note       run configurations differ; "
+                "rates may not be directly comparable"
+            )
     for key in sorted(set(base_rates) & set(fresh_rates)):
         before, after = base_rates[key], fresh_rates[key]
         change = (after - before) / before if before > 0 else 0.0

@@ -25,6 +25,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..mechanisms.backends import backend_info, use_backend
 from ..metrics import rmse
 from ..obs import metrics as obs_metrics
 from ..rng import ensure_rng, spawn_seeds
@@ -81,6 +82,8 @@ def run_stream_benchmark(
     frameworks: Sequence[str] = STREAM_FRAMEWORKS,
     mode: str = "simulate",
     executor: str = "thread",
+    transport: Optional[str] = None,
+    backend: Optional[str] = None,
     artifact: Optional[str] = None,
 ) -> tuple[str, dict]:
     """Run the ingestion benchmark; returns ``(report, artifact_payload)``.
@@ -90,7 +93,11 @@ def run_stream_benchmark(
     root); an unwritable location is reported in the table note rather
     than aborting the run, so the benchmark works from installed
     packages too.  Explicit ``n_users`` / ``n_shards`` / ``batch_size``
-    override the scale's defaults.
+    override the scale's defaults.  ``transport`` picks the process-mode
+    batch transport (shared-memory views or pickle; meaningless — and
+    rejected — for the thread executor), ``backend`` pins the kernel
+    backend for the run; both land in the artifact so a recorded rate is
+    attributable to its configuration.
     """
     if scale not in SCALES:
         raise ConfigurationError(f"scale must be one of {sorted(SCALES)}, got {scale!r}")
@@ -125,7 +132,9 @@ def run_stream_benchmark(
     # meta block.  (spawn_seeds + ensure_rng reproduces spawn()'s exact
     # generator streams while capturing the seeds for the meta block.)
     registry = obs_metrics.get_registry()
-    with obs_metrics.enabled():
+    resolved_transport = None
+    with use_backend(backend), obs_metrics.enabled():
+        run_backend = backend_info()
         for name in frameworks:
             seeds = spawn_seeds(rng, shards)
             shard_seeds[name] = list(seeds)
@@ -141,7 +150,12 @@ def run_stream_benchmark(
                 for seed_value in seeds
             ]
             with obs_metrics.span("bench_stream_seconds", framework=name) as timer:
-                with ShardedAggregator(sessions, executor=executor) as aggregator:
+                with ShardedAggregator(
+                    sessions,
+                    executor=executor,
+                    transport=transport if executor == "process" else None,
+                ) as aggregator:
+                    resolved_transport = aggregator.transport
                     for item in batches:
                         aggregator.submit(item)
                     aggregator.drain()
@@ -181,11 +195,15 @@ def run_stream_benchmark(
         "batch_size": batch,
         "n_shards": shards,
         "executor": executor,
+        "transport": resolved_transport,
         "total_reports": total_reports,
         "peak_rss_mb": peak_rss_mb,
         "frameworks": per_framework,
         "meta": bench_meta(
-            shard_seeds=shard_seeds, metrics=registry.snapshot()
+            shard_seeds=shard_seeds,
+            metrics=registry.snapshot(),
+            backend=run_backend,
+            transport=resolved_transport,
         ),
     }
     artifact_path = Path(artifact) if artifact is not None else _artifact_path()
@@ -197,7 +215,9 @@ def run_stream_benchmark(
 
     report = format_table(
         f"Streaming ingestion throughput (scale={scale}, c={c}, d={d}, "
-        f"eps={epsilon}, shards={shards}, batch={batch}, executor={executor})",
+        f"eps={epsilon}, shards={shards}, batch={batch}, executor={executor}"
+        + (f", transport={resolved_transport}" if resolved_transport else "")
+        + ")",
         ["framework", "reports", "batches", "sec", "reports/sec", "RMSE"],
         rows,
         note=(

@@ -87,7 +87,37 @@ def build_parser() -> argparse.ArgumentParser:
         "--executor",
         choices=("thread", "process"),
         default=None,
-        help="shard executor: per-shard threads (default) or a process pool",
+        help=(
+            "shard executor: per-shard threads (default) or persistent "
+            "per-shard worker processes"
+        ),
+    )
+    stream.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default=None,
+        help=(
+            "process-executor batch transport: zero-copy shared-memory "
+            "views (default where supported) or pickled pipes"
+        ),
+    )
+    kernels = parser.add_argument_group("kernel backend options")
+    kernels.add_argument(
+        "--backend",
+        choices=("auto", "numpy", "numba"),
+        default=None,
+        help=(
+            "kernel backend for the run (default: REPRO_BACKEND or "
+            "'auto' — numba where importable, else numpy)"
+        ),
+    )
+    kernels.add_argument(
+        "--threads",
+        default=None,
+        help=(
+            "engine block-thread count for protocol mode: an integer or "
+            "'auto' (default: REPRO_THREADS or serial execution)"
+        ),
     )
     serve = parser.add_argument_group("serve benchmark options")
     serve.add_argument(
@@ -172,6 +202,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--shards", args.shards, ("stream", "serve")),
         ("--batch-size", args.batch_size, ("stream", "serve")),
         ("--executor", args.executor, ("stream",)),
+        ("--transport", args.transport, ("stream",)),
+        ("--backend", args.backend, ("stream", "protocol")),
+        ("--threads", args.threads, ("protocol",)),
         ("--connections", args.connections, ("serve",)),
         ("--users", args.users, BENCHES),
     )
@@ -190,6 +223,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.experiment == "stream":
         from .bench.stream import run_stream_benchmark
 
+        if args.transport is not None and (args.executor or "thread") != "process":
+            print(
+                "--transport applies to --executor process only",
+                file=sys.stderr,
+            )
+            return 2
+
         report, _payload = run_stream_benchmark(
             scale=args.scale or bench_scale(),
             seed=args.seed,
@@ -197,16 +237,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_shards=args.shards,
             batch_size=args.batch_size,
             executor=args.executor or "thread",
+            transport=args.transport,
+            backend=args.backend,
         )
         emit("stream", report)
         return 0
     if args.experiment == "protocol":
         from .bench.protocol import run_protocol_benchmark
 
+        threads = args.threads
+        if threads is not None and threads != "auto":
+            try:
+                threads = int(threads)
+            except ValueError:
+                print(
+                    f"--threads must be an integer or 'auto', got {threads!r}",
+                    file=sys.stderr,
+                )
+                return 2
         report, _payload = run_protocol_benchmark(
             scale=args.scale or bench_scale(),
             seed=args.seed,
             n_users=args.users,
+            backend=args.backend,
+            threads=threads,
         )
         emit("protocol", report)
         return 0
@@ -250,6 +304,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="default aggregation shards per hosted session",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help=(
+            "shard executor for hosted framework sessions: per-shard "
+            "threads (default) or persistent worker processes"
+        ),
+    )
+    parser.add_argument(
+        "--transport",
+        choices=("auto", "shm", "pickle"),
+        default=None,
+        help=(
+            "process-executor batch transport (default: shared-memory "
+            "views where supported)"
+        ),
     )
     parser.add_argument(
         "--flush-reports",
@@ -307,6 +379,8 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             default_shards=args.shards,
             flush_reports=args.flush_reports,
             high_water=args.high_water,
+            executor=args.executor,
+            transport=args.transport,
         )
         await collector.start()
         print(f"repro-serve: collecting reports on {collector.host}:{collector.port}")

@@ -1,0 +1,163 @@
+"""Numba ``nogil`` variants of the hot report-plane kernels.
+
+Importing this module is always safe: when numba is absent every public
+symbol still exists and :func:`available` returns ``False`` — the
+registry then falls back to the NumPy reference backend.  When numba is
+present, the compute stages compile with ``nogil=True`` so the batch
+engine can dispatch independent blocks onto a thread pool and actually
+run them in parallel.
+
+Draw-for-draw equivalence with :mod:`.numpy_backend` is a hard contract
+(the seeded equivalence suite pins it): every kernel that consumes
+randomness draws its uniforms through the *caller's NumPy generator* in
+exactly the reference order and hands the resulting array to a compiled
+nogil threshold stage, so the random stream never depends on which
+backend ran.  Pure-compute kernels (hashing, counting, scatter) are
+bit-for-bit by construction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import AggregationError
+from .numpy_backend import PRIME
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+    from numba import njit as _njit
+except ImportError:  # pragma: no cover - the numpy-only environment
+    _numba = None
+
+    def _njit(*args, **kwargs):  # type: ignore[misc]
+        """Decorator stub so kernel definitions below always parse."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def wrap(func):
+            return func
+
+        return wrap
+
+
+def available() -> bool:
+    """Whether the numba toolchain imported successfully."""
+    return _numba is not None
+
+
+def version() -> str | None:
+    """Installed numba version, or ``None``."""
+    return getattr(_numba, "__version__", None) if _numba is not None else None
+
+
+# ----------------------------------------------------------------------
+# compiled nogil stages
+# ----------------------------------------------------------------------
+@_njit(nogil=True)
+def _threshold_onehot(u, positions, p, q):  # pragma: no cover - compiled
+    n, width = u.shape
+    out = np.empty((n, width), dtype=np.uint8)
+    for i in range(n):
+        for j in range(width):
+            out[i, j] = 1 if u[i, j] < q else 0
+        pos = positions[i]
+        out[i, pos] = 1 if u[i, pos] < p else 0
+    return out
+
+
+@_njit(nogil=True)
+def _universal_hash(values, a, b, g):  # pragma: no cover - compiled
+    out = np.empty(values.size, dtype=np.int64)
+    for i in range(values.size):
+        out[i] = np.int64(((a * values[i] + b) % PRIME) % g)
+    return out
+
+
+@_njit(nogil=True)
+def _bulk_hash_support(a, b, reports, domain_size, g):  # pragma: no cover
+    support = np.zeros(domain_size, dtype=np.int64)
+    for i in range(a.size):
+        ai = a[i]
+        bi = b[i]
+        target = reports[i]
+        for v in range(domain_size):
+            h = ((ai * np.uint64(v) + bi) % PRIME) % g
+            if h == target:
+                support[v] += 1
+    return support
+
+
+@_njit(nogil=True)
+def _categorical_support(reports, domain_size):  # pragma: no cover
+    counts = np.zeros(domain_size, dtype=np.int64)
+    for i in range(reports.size):
+        value = reports[i]
+        if value < 0 or value >= domain_size:
+            return counts, False
+        counts[value] += 1
+    return counts, True
+
+
+@_njit(nogil=True)
+def _grouped_scatter(groups, bits, n_groups):  # pragma: no cover
+    n, width = bits.shape
+    out = np.zeros((n_groups, width), dtype=np.int64)
+    for i in range(n):
+        g = groups[i]
+        for j in range(width):
+            out[g, j] += bits[i, j]
+    return out
+
+
+# ----------------------------------------------------------------------
+# registry-facing wrappers (NumPy-identical signatures and semantics)
+# ----------------------------------------------------------------------
+def perturb_onehot(positions, width, p, q, rng):
+    # The uniforms come from the caller's NumPy generator in reference
+    # order; only the GIL-free thresholding is compiled.
+    u = rng.random((positions.size, width))
+    return _threshold_onehot(u, np.asarray(positions, dtype=np.int64), p, q)
+
+
+def universal_hash(values, a, b, g):
+    values = np.asarray(values, dtype=np.uint64)
+    return _universal_hash(values, np.uint64(a), np.uint64(b), np.uint64(g))
+
+
+def bulk_hash_support(a, b, reports, domain_size, g, block_elements=None):
+    # O(1) memory: the compiled loop never materialises the (n, d) hash
+    # block the NumPy path pays for, so block_elements is irrelevant.
+    return _bulk_hash_support(
+        np.asarray(a, dtype=np.uint64),
+        np.asarray(b, dtype=np.uint64),
+        np.asarray(reports, dtype=np.uint64),
+        np.int64(domain_size),
+        np.uint64(g),
+    )
+
+
+def categorical_support(reports, domain_size, name="categorical"):
+    counts, in_domain = _categorical_support(
+        np.asarray(reports, dtype=np.int64), np.int64(domain_size)
+    )
+    if not in_domain:
+        raise AggregationError(f"{name} report outside domain [0, {domain_size})")
+    return counts
+
+
+def grouped_scatter(groups, bits, n_groups):
+    return _grouped_scatter(
+        np.asarray(groups, dtype=np.int64),
+        np.asarray(bits, dtype=np.int64),
+        np.int64(n_groups),
+    )
+
+
+#: Kernel table exposed to the registry (only consulted when available()).
+KERNELS = {
+    "perturb_onehot": perturb_onehot,
+    "universal_hash": universal_hash,
+    "bulk_hash_support": bulk_hash_support,
+    "categorical_support": categorical_support,
+    "grouped_scatter": grouped_scatter,
+}

@@ -1,0 +1,120 @@
+"""Reference NumPy implementations of the hot report-plane kernels.
+
+This module is the semantic ground truth of the kernel registry
+(:mod:`repro.mechanisms.backends`): every other backend must reproduce
+these functions draw-for-draw (where a generator is consumed) and
+bit-for-bit (where the computation is deterministic).  The public kernel
+wrappers in :mod:`repro.mechanisms.kernels` and
+:mod:`repro.mechanisms.olh` perform the argument validation; the
+functions here assume validated inputs and do only the arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...exceptions import AggregationError
+
+#: Large Mersenne prime used by the OLH universal hash family.
+PRIME = (1 << 61) - 1
+
+#: Matrix-cell budget per block of the bulk-hash evaluation.
+HASH_BLOCK_ELEMENTS = 4_000_000
+
+
+def perturb_onehot(
+    positions: np.ndarray,
+    width: int,
+    p: float,
+    q: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Perturbed one-hot rows; row ``u`` consumes ``width`` uniforms in
+    order, so a batch is draw-for-draw identical to the per-user loop."""
+    u = rng.random((positions.size, width))
+    bits = u < q
+    rows = np.arange(positions.size)
+    bits[rows, positions] = u[rows, positions] < p
+    return bits.astype(np.uint8)
+
+
+def universal_hash(values: np.ndarray, a, b, g) -> np.ndarray:
+    """Vectorised ``((a*x + b) mod PRIME) mod g`` universal hash."""
+    values = np.asarray(values, dtype=np.uint64)
+    out = (a * values + b) % PRIME
+    return (out % np.uint64(g)).astype(np.int64)
+
+
+def bulk_hash_support(
+    a: np.ndarray,
+    b: np.ndarray,
+    reports: np.ndarray,
+    domain_size: int,
+    g: int,
+    block_elements: int = HASH_BLOCK_ELEMENTS,
+) -> np.ndarray:
+    """OLH support counts: every user's hash evaluated over the whole
+    domain in NumPy blocks of roughly ``block_elements`` matrix cells."""
+    from ..engine import batch_spans
+
+    support = np.zeros(domain_size, dtype=np.int64)
+    domain = np.arange(domain_size, dtype=np.uint64)
+    targets = reports.astype(np.uint64)
+    for span in batch_spans(reports.size, domain_size, block_elements):
+        block = (a[span, None] * domain[None, :] + b[span, None]) % PRIME
+        block %= np.uint64(g)
+        support += (block == targets[span, None]).sum(axis=0)
+    return support
+
+
+def categorical_support(
+    reports: np.ndarray, domain_size: int, name: str = "categorical"
+) -> np.ndarray:
+    """Validated bincount of categorical reports in one bounds pass.
+
+    ``np.bincount`` itself rejects negatives and reveals too-large values
+    through the output length, so the domain check costs no separate
+    ``min()``/``max()`` sweeps over the reports.
+    """
+    try:
+        counts = np.bincount(reports, minlength=domain_size)
+    except ValueError as error:
+        raise AggregationError(
+            f"{name} report outside domain [0, {domain_size})"
+        ) from error
+    if counts.size > domain_size:
+        raise AggregationError(f"{name} report outside domain [0, {domain_size})")
+    return counts.astype(np.int64, copy=False)
+
+
+def grouped_scatter(
+    groups: np.ndarray, bits: np.ndarray, n_groups: int
+) -> np.ndarray:
+    """Per-group column sums: row ``g`` of the result accumulates the
+    report rows of users with ``groups[u] == g``.
+
+    Flattens the scatter into one ``np.bincount`` over the set cells
+    (``group * width + column``) instead of ``np.add.at`` — bit-report
+    matrices are sparse in ones, and ``np.add.at``'s unbuffered fancy
+    indexing is an order-of-magnitude soft spot even when they are not.
+    """
+    width = int(bits.shape[1])
+    rows, cols = np.nonzero(bits)
+    if rows.size == 0:
+        return np.zeros((int(n_groups), width), dtype=np.int64)
+    flat = np.bincount(
+        groups[rows] * width + cols,
+        weights=bits[rows, cols],
+        minlength=int(n_groups) * width,
+    )
+    return flat.reshape(int(n_groups), width).astype(np.int64)
+
+
+#: Kernel table exposed to the registry.
+KERNELS = {
+    "perturb_onehot": perturb_onehot,
+    "universal_hash": universal_hash,
+    "bulk_hash_support": bulk_hash_support,
+    "categorical_support": categorical_support,
+    "grouped_scatter": grouped_scatter,
+}

@@ -18,6 +18,9 @@ tuple and whose "support" is a
 
 from __future__ import annotations
 
+import copy
+import os
+from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from typing import Iterator, Optional, Union
 
@@ -25,9 +28,59 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..obs import metrics as _obs
+from ..rng import ensure_rng, spawn_seeds
+from .backends import active_backend, get_kernel
 
 #: How many report bits one privatised block may materialise at once.
 BLOCK_ELEMENTS = 2_000_000
+
+#: Environment variable setting the default block-thread count.
+THREADS_ENV = "REPRO_THREADS"
+
+#: Process-wide thread default installed by :func:`set_default_threads`.
+_DEFAULT_THREADS: Optional[int] = None
+
+
+def default_thread_count() -> int:
+    """Block-execution threads used for ``threads="auto"``: one per CPU,
+    capped (mirrors :func:`repro.stream.sharding.default_shard_count`)."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def set_default_threads(threads: Optional[int]) -> Optional[int]:
+    """Install a process-wide default for the engine's ``threads``
+    argument; returns the previous default (so callers can restore it).
+
+    ``None`` clears the override — resolution falls back to the
+    ``REPRO_THREADS`` environment variable and then to the serial path.
+    """
+    global _DEFAULT_THREADS
+    previous = _DEFAULT_THREADS
+    _DEFAULT_THREADS = None if threads is None else _check_threads(threads)
+    return previous
+
+
+def _check_threads(threads) -> int:
+    if threads == "auto":
+        return default_thread_count()
+    count = int(threads)
+    if count < 1:
+        raise ConfigurationError(f"threads must be >= 1, got {threads!r}")
+    return count
+
+
+def _resolve_threads(threads) -> Optional[int]:
+    """Effective thread count: explicit argument, else the process default,
+    else ``REPRO_THREADS``, else ``None`` (the serial sequential-stream
+    path — bit-identical to the pre-threading engine)."""
+    if threads is not None:
+        return _check_threads(threads)
+    if _DEFAULT_THREADS is not None:
+        return _DEFAULT_THREADS
+    env = os.environ.get(THREADS_ENV)
+    if env:
+        return _check_threads(env)
+    return None
 
 
 def batch_spans(
@@ -88,10 +141,50 @@ def _block_span(telemetry):
     return _obs.Span(histogram)
 
 
+def _with_rng(oracle, rng):
+    """``oracle`` rebound to ``rng`` (oracle's ``with_rng`` when present)."""
+    rebind = getattr(oracle, "with_rng", None)
+    if rebind is not None:
+        return rebind(rng)
+    clone = copy.copy(oracle)
+    clone.rng = rng
+    return clone
+
+
+def _block_oracles(oracle, spans: list) -> list:
+    """One oracle clone per block, each on its own pre-split stream.
+
+    Streams are spawned from the oracle's generator with
+    :func:`repro.rng.spawn_seeds`, so the schedule — and therefore every
+    block's draws — depends only on the generator state and the block
+    split, never on the thread count or interleaving.
+    """
+    seeds = spawn_seeds(oracle.rng, len(spans))
+    return [_with_rng(oracle, ensure_rng(seed)) for seed in seeds]
+
+
+def _run_blocks(tasks: list, threads: int) -> list:
+    """Run block thunks, in order, optionally on a bounded thread pool.
+
+    The pool only engages when the active kernel backend is GIL-free —
+    with the NumPy reference backend the threads would serialise on the
+    interpreter lock and pay hand-off overhead for nothing.  Results come
+    back in block order either way, so the reduction is deterministic.
+    """
+    if threads > 1 and len(tasks) > 1 and active_backend().gil_free:
+        with ThreadPoolExecutor(
+            max_workers=min(threads, len(tasks)),
+            thread_name_prefix="repro-engine",
+        ) as pool:
+            return list(pool.map(lambda task: task(), tasks))
+    return [task() for task in tasks]
+
+
 def batch_support(
     oracle,
     values: Union[np.ndarray, tuple],
     block_elements: Optional[int] = None,
+    threads: Optional[int] = None,
 ):
     """Support of a privatised batch: ``aggregate_batch(privatize_many(v))``
     evaluated in bounded blocks.
@@ -101,17 +194,49 @@ def batch_support(
     takes ``(labels, items)``).  Returns whatever the oracle's
     ``aggregate_batch`` returns — support vectors are summed across
     blocks, so the result equals a single unbounded batch exactly.
+
+    ``threads`` selects the execution schedule (default: the process
+    override from :func:`set_default_threads`, then ``REPRO_THREADS``,
+    then serial).  Serial runs privatise blocks sequentially off the
+    oracle's own generator — bit-identical to the pre-threading engine.
+    Any explicit thread count switches to pre-split per-block streams
+    with an ordered reduction, making the result *independent of the
+    thread count*: ``threads=1`` and ``threads=8`` agree bit-for-bit
+    (blocks only actually overlap when the active kernel backend is
+    GIL-free).
     """
     cols = _columns(values)
     n = int(cols[0].size)
     width = max(1, int(oracle.communication_bits()))
     telemetry = _telemetry(oracle, n)
+    thread_count = _resolve_threads(threads)
     support = None
-    for cut in batch_spans(n, width, block_elements):
-        with _block_span(telemetry):
-            reports = oracle.privatize_many(*(col[cut] for col in cols))
-            block = oracle.aggregate_batch(reports)
-        support = block if support is None else support + block
+    if thread_count is None:
+        for cut in batch_spans(n, width, block_elements):
+            with _block_span(telemetry):
+                reports = oracle.privatize_many(*(col[cut] for col in cols))
+                block = oracle.aggregate_batch(reports)
+            support = block if support is None else support + block
+    else:
+        spans = list(batch_spans(n, width, block_elements))
+        oracles = _block_oracles(oracle, spans)
+
+        def _block_task(cut, block_oracle):
+            def run():
+                with _block_span(telemetry):
+                    reports = block_oracle.privatize_many(
+                        *(col[cut] for col in cols)
+                    )
+                    return block_oracle.aggregate_batch(reports)
+
+            return run
+
+        blocks = _run_blocks(
+            [_block_task(cut, clone) for cut, clone in zip(spans, oracles)],
+            thread_count,
+        )
+        for block in blocks:
+            support = block if support is None else support + block
     if support is None:  # empty batch: aggregate nothing for typed zeros
         reports = oracle.privatize_many(*(col[:0] for col in cols))
         support = oracle.aggregate_batch(reports)
@@ -124,6 +249,7 @@ def grouped_batch_support(
     values: np.ndarray,
     n_groups: int,
     block_elements: Optional[int] = None,
+    threads: Optional[int] = None,
 ) -> np.ndarray:
     """Per-group support of bit-vector reports: row ``g`` sums the reports
     of users with ``groups[u] == g``.
@@ -131,15 +257,39 @@ def grouped_batch_support(
     The label-grouped aggregation PTS-style sessions need — item reports
     are scattered into the perturbed label's row instead of one global
     support.  ``oracle`` must produce fixed-width bit-vector reports of
-    ``oracle.domain_size`` bits (OUE/SUE).
+    ``oracle.domain_size`` bits (OUE/SUE).  The scatter itself goes
+    through the backend registry's ``grouped_scatter`` kernel (a
+    flattened ``bincount`` over set cells on NumPy — ``np.add.at`` is an
+    order-of-magnitude soft spot — or a compiled ``nogil`` loop).
+    ``threads`` behaves exactly as in :func:`batch_support`.
     """
     groups = np.asarray(groups, dtype=np.int64).ravel()
     values = np.asarray(values, dtype=np.int64).ravel()
     width = int(oracle.domain_size)
     telemetry = _telemetry(oracle, values.size)
+    scatter = get_kernel("grouped_scatter")
     out = np.zeros((int(n_groups), width), dtype=np.int64)
-    for cut in batch_spans(values.size, width, block_elements):
-        with _block_span(telemetry):
-            bits = np.asarray(oracle.privatize_many(values[cut]), dtype=np.int64)
-            np.add.at(out, groups[cut], bits)
+    thread_count = _resolve_threads(threads)
+    if thread_count is None:
+        for cut in batch_spans(values.size, width, block_elements):
+            with _block_span(telemetry):
+                bits = np.asarray(oracle.privatize_many(values[cut]))
+                out += scatter(groups[cut], bits, int(n_groups))
+        return out
+    spans = list(batch_spans(values.size, width, block_elements))
+    oracles = _block_oracles(oracle, spans)
+
+    def _block_task(cut, block_oracle):
+        def run():
+            with _block_span(telemetry):
+                bits = np.asarray(block_oracle.privatize_many(values[cut]))
+                return scatter(groups[cut], bits, int(n_groups))
+
+        return run
+
+    for partial in _run_blocks(
+        [_block_task(cut, clone) for cut, clone in zip(spans, oracles)],
+        thread_count,
+    ):
+        out += partial
     return out

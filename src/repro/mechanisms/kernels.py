@@ -11,6 +11,11 @@ beyond an explicit generator argument) and therefore compose freely: the
 batch execution engine (:mod:`repro.mechanisms.engine`) slices value
 arrays into bounded blocks and pushes each block through
 ``privatize_many`` → ``aggregate_batch``, both of which bottom out here.
+
+The arithmetic itself lives in the pluggable backend registry
+(:mod:`repro.mechanisms.backends`): the wrappers here validate and
+instrument, then dispatch to whichever implementation — the NumPy
+reference or a compiled ``nogil`` variant — is active for the process.
 """
 
 from __future__ import annotations
@@ -19,13 +24,19 @@ import numpy as np
 
 from ..exceptions import AggregationError
 from ..obs import metrics as _obs
+from .backends import get_kernel
 
 
 def as_report_array(reports, name: str = "categorical") -> np.ndarray:
     """Normalise categorical (integer) reports into a flat int64 array."""
-    if not isinstance(reports, np.ndarray):
-        reports = list(reports)
-    return np.asarray(reports, dtype=np.int64).ravel()
+    if isinstance(reports, np.ndarray):
+        return np.asarray(reports, dtype=np.int64).ravel()
+    try:
+        return np.asarray(reports, dtype=np.int64).ravel()
+    except (TypeError, ValueError):
+        # Only consumable iterators (generators) need the list round-trip;
+        # sequences convert directly above without the extra copy.
+        return np.asarray(list(reports), dtype=np.int64).ravel()
 
 
 def as_report_matrix(reports, width: int, name: str) -> np.ndarray:
@@ -35,8 +46,11 @@ def as_report_matrix(reports, width: int, name: str) -> np.ndarray:
     report (treated as a batch of one).
     """
     if not isinstance(reports, np.ndarray):
-        reports = list(reports)
-        if not reports:
+        if not hasattr(reports, "__len__"):
+            # Consumable iterator: materialise once.  Sized sequences
+            # (lists of rows) convert below without the list() copy.
+            reports = list(reports)
+        if not len(reports):
             return np.zeros((0, width), dtype=np.int64)
         reports = np.asarray(reports)
     if reports.ndim == 1:
@@ -49,16 +63,19 @@ def as_report_matrix(reports, width: int, name: str) -> np.ndarray:
 
 
 def categorical_support(reports, domain_size: int, name: str = "categorical") -> np.ndarray:
-    """Support counts of categorical reports: a validated bincount."""
+    """Support counts of categorical reports: a validated bincount.
+
+    The domain check is fused into the counting pass (no separate
+    ``min()``/``max()`` sweeps); out-of-domain reports raise
+    :class:`~repro.exceptions.AggregationError` either way.
+    """
     arr = as_report_array(reports, name)
-    if arr.size and (arr.min() < 0 or arr.max() >= domain_size):
-        raise AggregationError(f"{name} report outside domain [0, {domain_size})")
     registry = _obs.get_registry()
     if registry.enabled:
         registry.counter(
             "kernel_support_reports_total", kernel="categorical"
         ).inc(int(arr.size))
-    return np.bincount(arr, minlength=domain_size).astype(np.int64)
+    return get_kernel("categorical_support")(arr, int(domain_size), name)
 
 
 def bit_matrix_support(reports, width: int, name: str = "bit-vector") -> np.ndarray:
@@ -109,8 +126,4 @@ def _perturb_onehot(
     q: float,
     rng: np.random.Generator,
 ) -> np.ndarray:
-    u = rng.random((positions.size, width))
-    bits = u < q
-    rows = np.arange(positions.size)
-    bits[rows, positions] = u[rows, positions] < p
-    return bits.astype(np.uint8)
+    return get_kernel("perturb_onehot")(positions, width, p, q, rng)

@@ -23,18 +23,14 @@ import numpy as np
 
 from ..exceptions import AggregationError, DomainError
 from ..rng import RngLike
+from .backends import get_kernel
+from .backends.numpy_backend import PRIME as _PRIME
 from .base import FrequencyOracle, calibrate_counts, pure_protocol_variance
-from .engine import batch_spans
-
-#: Large Mersenne prime used by the universal hash family.
-_PRIME = (1 << 61) - 1
 
 
 def _universal_hash(values: np.ndarray, a: int, b: int, g: int) -> np.ndarray:
-    """Vectorised ``((a*x + b) mod PRIME) mod g`` universal hash."""
-    values = np.asarray(values, dtype=np.uint64)
-    out = (a * values + b) % _PRIME
-    return (out % np.uint64(g)).astype(np.int64)
+    """``((a*x + b) mod PRIME) mod g`` universal hash (backend-dispatched)."""
+    return get_kernel("universal_hash")(values, a, b, g)
 
 
 def as_report_triples(reports) -> np.ndarray:
@@ -65,11 +61,12 @@ def bulk_hash_support(
 ) -> np.ndarray:
     """OLH support counts for a batch: ``support_v = #{u : hash_u(v) = r_u}``.
 
-    Every user's hash function is evaluated over the whole domain in NumPy
-    blocks of roughly ``block_elements`` matrix cells, so total work is
-    still ``O(n * d)`` but runs at memory bandwidth instead of one Python
-    iteration per report.  Shared by :meth:`OptimalLocalHashing.aggregate`
-    and the streaming accumulator
+    The work is ``O(n * d)`` either way, but never one Python iteration
+    per report: the NumPy backend evaluates the hashes in blocks of
+    roughly ``block_elements`` matrix cells at memory bandwidth, and the
+    numba backend streams the domain per user in a compiled ``nogil``
+    loop with O(1) extra memory.  Shared by
+    :meth:`OptimalLocalHashing.aggregate` and the streaming accumulator
     (:class:`repro.stream.accumulators.LocalHashAccumulator`).
     """
     a = np.asarray(a, dtype=np.uint64).ravel()
@@ -80,18 +77,13 @@ def bulk_hash_support(
             f"hash coefficients and reports must align: {a.size}, {b.size}, "
             f"{reports.size}"
         )
-    support = np.zeros(domain_size, dtype=np.int64)
     if reports.size == 0:
-        return support
+        return np.zeros(domain_size, dtype=np.int64)
     if reports.min() < 0 or reports.max() >= g:
         raise AggregationError(f"OLH report outside [0, {g})")
-    domain = np.arange(domain_size, dtype=np.uint64)
-    targets = reports.astype(np.uint64)
-    for span in batch_spans(reports.size, domain_size, block_elements):
-        block = (a[span, None] * domain[None, :] + b[span, None]) % _PRIME
-        block %= np.uint64(g)
-        support += (block == targets[span, None]).sum(axis=0)
-    return support
+    return get_kernel("bulk_hash_support")(
+        a, b, reports, int(domain_size), int(g), block_elements
+    )
 
 
 class OptimalLocalHashing(FrequencyOracle):

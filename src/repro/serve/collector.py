@@ -49,7 +49,7 @@ class ReportCollector:
         :meth:`start`.
     flush_interval:
         Period of the background buffer sweep in seconds.
-    default_shards / flush_reports / high_water / record:
+    default_shards / flush_reports / high_water / record / executor / transport:
         Registry defaults when ``registry`` is omitted (see
         :class:`~repro.serve.registry.SessionRegistry`).
     metrics:
@@ -72,6 +72,8 @@ class ReportCollector:
         record: bool = False,
         max_sessions: int = 256,
         metrics: Optional[MetricsRegistry] = None,
+        executor: str = "thread",
+        transport: Optional[str] = None,
     ) -> None:
         if flush_interval <= 0:
             raise ServeError(
@@ -92,6 +94,8 @@ class ReportCollector:
                 record=record,
                 max_sessions=max_sessions,
                 metrics=self.metrics,
+                executor=executor,
+                transport=transport,
             )
         self._bind_host = host
         self._bind_port = port

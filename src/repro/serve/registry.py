@@ -154,12 +154,21 @@ def canonical_config(raw: dict, default_shards: int = 1) -> dict:
     return config
 
 
-def _build_drain(config: dict, record: bool):
+def _build_drain(
+    config: dict,
+    record: bool,
+    executor: str = "thread",
+    transport: Optional[str] = None,
+):
     """The drain adapter for a canonical config.
 
     Framework shards spawn their generators from the config seed with
     :func:`repro.rng.spawn`, so a recorded run replays offline from the
     same seed (see :func:`repro.stream.drain.replay_drain_log`).
+    ``executor``/``transport`` are server-level deployment knobs (see
+    :class:`~repro.stream.sharding.ShardedAggregator`), not part of the
+    cohort config — they do not affect the statistics, only where shard
+    states live and how batches reach them.
     """
     decay = dict(decay=config["decay"], decay_every=config["decay_every"])
     if config["kind"] == "framework":
@@ -176,7 +185,12 @@ def _build_drain(config: dict, record: bool):
             )
             for child in children
         ]
-        return AggregatorDrain(ShardedAggregator(shards), record=record, **decay)
+        aggregator = ShardedAggregator(
+            shards,
+            executor=executor,
+            transport=transport if executor == "process" else None,
+        )
+        return AggregatorDrain(aggregator, record=record, **decay)
     miner = OnlineTopKSession(
         k=config["k"],
         epsilon=config["epsilon"],
@@ -202,6 +216,8 @@ class HostedSession:
         high_water: int = 262_144,
         record: bool = False,
         metrics: Optional[MetricsRegistry] = None,
+        executor: str = "thread",
+        transport: Optional[str] = None,
     ) -> None:
         if flush_reports < 1:
             raise ServeError(f"flush_reports must be >= 1, got {flush_reports}")
@@ -218,7 +234,7 @@ class HostedSession:
         self.flush_reports = int(flush_reports)
         self.high_water = int(high_water)
         self.low_water = max(1, self.high_water // 2)
-        self._drain = _build_drain(config, record)
+        self._drain = _build_drain(config, record, executor, transport)
         self._class_items: list[list[np.ndarray]] = [
             [] for _ in range(self.n_classes)
         ]
@@ -507,6 +523,8 @@ class SessionRegistry:
         record: bool = False,
         max_sessions: int = 256,
         metrics: Optional[MetricsRegistry] = None,
+        executor: str = "thread",
+        transport: Optional[str] = None,
     ) -> None:
         self.default_shards = int(default_shards)
         self.flush_reports = int(flush_reports)
@@ -514,6 +532,8 @@ class SessionRegistry:
         self.record = bool(record)
         self.max_sessions = int(max_sessions)
         self.metrics = metrics
+        self.executor = executor
+        self.transport = transport
         self._sessions: dict[str, HostedSession] = {}
 
     def open(self, raw_config: dict) -> tuple[HostedSession, bool]:
@@ -539,6 +559,8 @@ class SessionRegistry:
             high_water=self.high_water,
             record=self.record,
             metrics=self.metrics,
+            executor=self.executor,
+            transport=self.transport,
         )
         self._sessions[config["session"]] = hosted
         if self.metrics is not None:

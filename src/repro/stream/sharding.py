@@ -18,23 +18,31 @@ from its own stream).
 
 Two executors are available.  ``executor="thread"`` (default) serves each
 shard from its own single-worker thread — cheap hand-off, shared memory,
-concurrency bounded by the GIL outside NumPy kernels.
-``executor="process"`` ships each shard's queued batches to a process
-pool at :meth:`ShardedAggregator.drain` time: shard states are plain data
-(count arrays plus picklable generators), so they round-trip through the
-pool workers and come back replaced, sidestepping the GIL entirely for
-CPU-bound ingest kernels at the cost of (de)serialising states per drain.
+concurrency bounded by the GIL outside NumPy kernels (and not at all
+under a GIL-free kernel backend).  ``executor="process"`` keeps one
+*persistent* worker process per shard: the shard state ships to its
+worker once, stays resident there across drains, and only queued batches
+cross the process boundary at :meth:`ShardedAggregator.drain` time.  How
+they cross is the *transport*: ``"shm"`` (default where supported) packs
+each drain's report arrays into one shared-memory segment per shard and
+sends only a descriptor manifest over the pipe — the worker ingests
+zero-copy views, nothing is pickled per report — while ``"pickle"``
+falls back to serialising batches through the pipe.  Snapshots of the
+resident states are pickled back only on demand (:meth:`partials`,
+:meth:`merged`, :meth:`close`), never per drain.
 """
 
 from __future__ import annotations
 
+import multiprocessing
 import os
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ThreadPoolExecutor
 from functools import reduce
 from typing import Callable, Optional, Sequence, Union
 
 from ..exceptions import ConfigurationError
 from ..obs import metrics as _obs
+from . import shm as _shm
 
 #: Anything shard-shaped: ingest_batch(batch) + merge(other).
 Mergeable = object
@@ -43,20 +51,144 @@ ShardFactory = Callable[[], Mergeable]
 #: The two batch executors.
 EXECUTORS = ("thread", "process")
 
+#: Process-mode batch transports (``"auto"`` resolves at construction).
+TRANSPORTS = ("auto", "shm", "pickle")
+
 
 def default_shard_count() -> int:
     """Shards used when the caller does not choose: one per CPU, capped."""
     return max(1, min(8, os.cpu_count() or 1))
 
 
-def _ingest_into(shard, batches):
-    """Process-pool worker: replay ``batches`` into ``shard`` in order.
+def resolve_transport(transport: Optional[str]) -> str:
+    """Effective process-mode transport for a requested name.
 
-    Module-level so it pickles; returns the mutated shard plus per-batch
-    sizes so the parent can resolve the submit futures.
+    ``None``/``"auto"`` picks shared memory when the host supports it and
+    degrades to pickle quietly; an explicit ``"shm"`` on a host without
+    usable shared memory is a configuration error.
     """
-    sizes = [int(shard.ingest_batch(batch) or 0) for batch in batches]
-    return shard, sizes
+    requested = "auto" if transport is None else str(transport)
+    if requested not in TRANSPORTS:
+        raise ConfigurationError(
+            f"transport must be one of {TRANSPORTS}, got {transport!r}"
+        )
+    if requested == "auto":
+        return "shm" if _shm.shm_supported() else "pickle"
+    if requested == "shm" and not _shm.shm_supported():
+        raise ConfigurationError(
+            "transport='shm' requested but shared memory is unavailable"
+        )
+    return requested
+
+
+def _shard_worker_main(connection, state) -> None:
+    """Persistent shard worker: hold ``state`` resident, serve commands.
+
+    Commands arrive as tuples on ``connection``:
+
+    ``("ingest", "shm", (segment_name, manifest))`` /
+    ``("ingest", "pickle", batches)``
+        Replay the batches into the state in order.  Ingestion runs
+        against a ``copy()`` that only replaces the resident state when
+        *every* batch succeeds, so a failed drain leaves the shard
+        exactly as it was (all-or-nothing, matching the old pool
+        semantics where a failed worker's state never came back).
+    ``("snapshot",)``
+        Reply with the resident state (the one place states are pickled).
+    ``("stop",)``
+        Acknowledge and exit.
+
+    Replies are ``("ok", payload)`` or ``("error", exception)``.
+    """
+    while True:
+        command = connection.recv()
+        kind = command[0]
+        if kind == "stop":
+            connection.send(("ok", None))
+            return
+        if kind == "snapshot":
+            connection.send(("ok", state))
+            continue
+        # kind == "ingest"
+        transport, payload = command[1], command[2]
+        segment = None
+        try:
+            if transport == "shm":
+                name, manifest = payload
+                segment, batches = _shm.attach_batches(name, manifest)
+            else:
+                batches = payload
+            work = state.copy()
+            sizes = [int(work.ingest_batch(batch) or 0) for batch in batches]
+            del batches  # drop the views before unmapping the segment
+            state = work
+            connection.send(("ok", sizes))
+        except BaseException as error:  # noqa: BLE001 - shipped to the parent
+            connection.send(("error", error))
+        finally:
+            _shm.release(segment, unlink=False)
+
+
+class _ShardWorker:
+    """Parent-side handle on one persistent shard worker process."""
+
+    def __init__(self, state, transport: str) -> None:
+        self.transport = transport
+        context = multiprocessing.get_context()
+        self._connection, child_connection = context.Pipe()
+        self._process = context.Process(
+            target=_shard_worker_main,
+            args=(child_connection, state),
+            daemon=True,
+        )
+        self._process.start()
+        child_connection.close()
+
+    def send_ingest(self, batches):
+        """Ship ``batches`` to the worker; returns the in-flight segment
+        (``None`` on the pickle transport) for :meth:`recv_ingest`."""
+        if self.transport == "shm":
+            segment, manifest = _shm.pack_batches(batches)
+            name = segment.name if segment is not None else None
+            try:
+                self._connection.send(("ingest", "shm", (name, manifest)))
+            except BaseException:
+                _shm.release(segment, unlink=True)
+                raise
+            return segment
+        self._connection.send(("ingest", "pickle", batches))
+        return None
+
+    def recv_ingest(self, segment) -> list[int]:
+        """Collect the per-batch sizes for a :meth:`send_ingest`; always
+        releases (and unlinks) the in-flight segment."""
+        try:
+            return self._recv()
+        finally:
+            _shm.release(segment, unlink=True)
+
+    def snapshot(self):
+        """The worker's resident state, pickled back on demand."""
+        self._connection.send(("snapshot",))
+        return self._recv()
+
+    def stop(self) -> None:
+        try:
+            self._connection.send(("stop",))
+            self._recv()
+        except (BrokenPipeError, EOFError, OSError):  # already gone
+            pass
+        self._process.join(timeout=10)
+        self._connection.close()
+
+    def _recv(self):
+        try:
+            status, payload = self._connection.recv()
+        except EOFError:
+            raise RuntimeError("shard worker process terminated unexpectedly")
+        if status == "error":
+            raise payload
+        return payload
 
 
 class _DeferredFuture(Future):
@@ -74,7 +206,7 @@ class _DeferredFuture(Future):
 
     def _drain_resolving(self) -> None:
         """Run the drain; if it fails before resolving this future (broken
-        pool, another shard's error), park the failure here so waiting
+        worker, another shard's error), park the failure here so waiting
         neither deadlocks nor raises an unrelated shard's exception."""
         try:
             self._drain()
@@ -110,6 +242,11 @@ class ShardedAggregator:
         docstring.  Process mode requires picklable shard states (every
         accumulator and session qualifies) and defers actual ingestion to
         :meth:`drain`.
+    transport:
+        Process-mode batch transport: ``"shm"`` (zero-copy shared-memory
+        views), ``"pickle"``, or ``"auto"``/``None`` (shared memory when
+        the host supports it).  Thread mode shares one address space and
+        accepts only the default.
 
     Use as a context manager (or call :meth:`close`) to release the
     workers.
@@ -120,6 +257,7 @@ class ShardedAggregator:
         shards: Union[Sequence[Mergeable], ShardFactory],
         n_shards: Optional[int] = None,
         executor: str = "thread",
+        transport: Optional[str] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise ConfigurationError(
@@ -140,21 +278,34 @@ class ShardedAggregator:
                 )
         self.executor = executor
         if executor == "thread":
+            if transport not in (None, "auto"):
+                raise ConfigurationError(
+                    "transport applies to the process executor only; "
+                    f"got transport={transport!r} with executor='thread'"
+                )
+            self.transport = None
             # One single-worker executor per shard: batches for a shard run
             # FIFO (deterministic per-shard RNG consumption), shards overlap.
             self._executors = [
                 ThreadPoolExecutor(max_workers=1) for _ in self._shards
             ]
-            self._pool = None
+            self._workers = None
             self._pending = None
         else:
+            self.transport = resolve_transport(transport)
             self._executors = []
-            self._pool = ProcessPoolExecutor(max_workers=len(self._shards))
+            # One persistent worker per shard: the state ships once and
+            # stays resident; self._shards becomes a snapshot cache that
+            # partials()/merged()/close() refresh from the workers.
+            self._workers = [
+                _ShardWorker(shard, self.transport) for shard in self._shards
+            ]
             # Per-shard FIFO of (batch, future) awaiting the next drain.
             self._pending = [[] for _ in self._shards]
         self._futures: list[Future] = []
         self._next = 0
         self._closed = False
+        self._snapshots_stale = False
         # Per-shard submitted-batch tallies (plain ints — cheap enough to
         # keep unconditionally; the imbalance gauge reads them at drain).
         self._shard_batches = [0] * len(self._shards)
@@ -209,8 +360,9 @@ class ShardedAggregator:
 
         Returns the summed batch sizes; re-raises the first shard error.
         In process mode this is where the work happens: each shard's
-        queued batches ship to a pool worker together with the shard's
-        current state, and the returned state replaces it.
+        queued batches ship to its resident worker over the configured
+        transport and fold into the worker-held state — no state ever
+        travels at drain time.
         """
         registry = _obs.get_registry()
         if not registry.enabled:
@@ -233,38 +385,70 @@ class ShardedAggregator:
         return sum(int(future.result() or 0) for future in futures)
 
     def _drain_process(self) -> int:
-        remote = {}
-        for index, pending in enumerate(self._pending):
-            if pending:
-                batches = [batch for batch, _future in pending]
-                remote[index] = self._pool.submit(
-                    _ingest_into, self._shards[index], batches
-                )
-        total = 0
+        if self._workers is None:  # closed: queues were drained then
+            return 0
+        # Phase 1: ship every shard's queue — all workers start folding
+        # concurrently before we collect any reply.
+        inflight = []
         first_error = None
-        for index, future in remote.items():
+        shipped_bytes = 0
+        for index, worker in enumerate(self._workers):
             pending, self._pending[index] = self._pending[index], []
+            if not pending:
+                continue
+            batches = [batch for batch, _future in pending]
             try:
-                shard, sizes = future.result()
+                segment = worker.send_ingest(batches)
+            except BaseException as error:  # noqa: BLE001 - parked on futures
+                for _batch, submit_future in pending:
+                    submit_future.set_exception(error)
+                first_error = first_error or error
+                continue
+            shipped_bytes += _shm.manifest_nbytes(segment)
+            inflight.append((worker, pending, segment))
+        # Phase 2: collect replies in shard order.
+        total = 0
+        for worker, pending, segment in inflight:
+            try:
+                sizes = worker.recv_ingest(segment)
             except BaseException as error:  # noqa: BLE001 - re-raised below
                 for _batch, submit_future in pending:
                     submit_future.set_exception(error)
                 first_error = first_error or error
                 continue
-            self._shards[index] = shard
+            self._snapshots_stale = True
             for (_batch, submit_future), size in zip(pending, sizes):
                 submit_future.set_result(size)
                 total += size
+        if inflight:
+            registry = _obs.get_registry()
+            if registry.enabled:
+                registry.counter(
+                    "shard_transport_bytes_total", transport=self.transport
+                ).inc(shipped_bytes)
         if first_error is not None:
             raise first_error
         return total
+
+    def _refresh_snapshots(self) -> None:
+        """Pull the resident worker states into the local snapshot cache."""
+        if self._workers is None or self._closed or not self._snapshots_stale:
+            return
+        self._shards = [worker.snapshot() for worker in self._workers]
+        self._snapshots_stale = False
 
     # ------------------------------------------------------------------
     # results
     # ------------------------------------------------------------------
     def partials(self) -> list:
-        """The live shard states (drains pending work first)."""
+        """The live shard states (drains pending work first).
+
+        In process mode these are snapshots of the worker-resident
+        states, fetched on demand — mutating them does not affect
+        subsequent ingestion.
+        """
         self.drain()
+        self._refresh_snapshots()
         return list(self._shards)
 
     def merged(self):
@@ -276,6 +460,7 @@ class ShardedAggregator:
         would hand back the live shard itself.
         """
         self.drain()
+        self._refresh_snapshots()
         if len(self._shards) == 1:
             return self._shards[0].copy()
         return reduce(lambda left, right: left.merge(right), self._shards)
@@ -284,15 +469,18 @@ class ShardedAggregator:
     # lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Wait for queued work and release the workers."""
+        """Wait for queued work, cache final states, release the workers."""
         if not self._closed:
             if self._pending is not None and any(self._pending):
                 self._drain_process()
+            self._refresh_snapshots()
             self._closed = True
             for executor in self._executors:
                 executor.shutdown(wait=True)
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
+            if self._workers is not None:
+                for worker in self._workers:
+                    worker.stop()
+                self._workers = None
 
     def __enter__(self) -> "ShardedAggregator":
         return self

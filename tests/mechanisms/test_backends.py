@@ -1,0 +1,257 @@
+"""Kernel backend registry: selection semantics, NumPy reference
+behaviour, and (where the toolchain is present) draw-for-draw and
+estimate equivalence of the numba twins.
+
+The numba half of this module runs only where numba imports — CI's
+backend-matrix job; the numpy-only environment must pass the rest of the
+file unchanged (that IS the fallback acceptance criterion).
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AggregationError, ConfigurationError
+from repro.mechanisms import (
+    GeneralizedRandomResponse,
+    HadamardResponse,
+    OptimalLocalHashing,
+    OptimizedUnaryEncoding,
+    Rappor,
+    SymmetricUnaryEncoding,
+)
+from repro.mechanisms import backends
+from repro.mechanisms.backends import (
+    KERNEL_NAMES,
+    KernelBackend,
+    backend_info,
+    get_kernel,
+    resolve_backend,
+    use_backend,
+)
+from repro.mechanisms.backends import numba_backend, numpy_backend
+from repro.obs import metrics as obs_metrics
+
+
+class TestResolution:
+    def test_numpy_always_resolves(self):
+        backend = resolve_backend("numpy")
+        assert backend.name == "numpy"
+        assert backend.gil_free is False
+
+    def test_auto_degrades_without_numba(self):
+        backend = resolve_backend("auto")
+        expected = "numba" if numba_backend.available() else "numpy"
+        assert backend.name == expected
+
+    def test_explicit_numba_without_toolchain_is_an_error(self):
+        if numba_backend.available():
+            pytest.skip("numba installed: the explicit request succeeds")
+        with pytest.raises(ConfigurationError):
+            resolve_backend("numba")
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_backend("fortran")
+
+    def test_env_var_feeds_resolution(self, monkeypatch):
+        monkeypatch.setenv(backends.BACKEND_ENV, "numpy")
+        assert resolve_backend(None).name == "numpy"
+        monkeypatch.setenv(backends.BACKEND_ENV, "cython")
+        with pytest.raises(ConfigurationError):
+            resolve_backend(None)
+
+    def test_use_backend_restores_previous_selection(self):
+        before = backends.active_backend()
+        with use_backend("numpy") as active:
+            assert active.name == "numpy"
+            assert backends.active_backend() is active
+        assert backends.active_backend() is before
+
+    def test_backend_info_shape(self):
+        with use_backend("numpy"):
+            info = backend_info()
+        assert info["name"] == "numpy"
+        assert info["requested"] == "numpy"
+        assert info["gil_free"] is False
+        assert isinstance(info["numba_available"], bool)
+
+    def test_partial_backend_falls_back_per_kernel(self):
+        sparse = KernelBackend(name="sparse", gil_free=False, kernels={})
+        for name in KERNEL_NAMES:
+            assert sparse.kernel(name) is numpy_backend.KERNELS[name]
+        with pytest.raises(ConfigurationError):
+            sparse.kernel("warp_drive")
+
+    def test_selection_is_recorded_in_telemetry(self):
+        with obs_metrics.enabled():
+            with use_backend("numpy"):
+                backends.set_backend("numpy")
+                snapshot = obs_metrics.get_registry().snapshot()
+        counters = snapshot["counters"]
+        assert counters.get('kernel_backend_selected_total{backend="numpy"}', 0) >= 1
+        assert snapshot["gauges"]["kernel_backend_gil_free"] == 0.0
+
+
+class TestNumpyKernels:
+    """The reference implementations the twins are pinned against."""
+
+    def test_categorical_support_counts_and_fused_bounds(self):
+        kernel = numpy_backend.categorical_support
+        counts = kernel(np.asarray([0, 2, 2, 3]), 5, "test")
+        np.testing.assert_array_equal(counts, [1, 0, 2, 1, 0])
+        assert counts.dtype == np.int64
+        with pytest.raises(AggregationError):
+            kernel(np.asarray([0, -1]), 5, "test")
+        with pytest.raises(AggregationError):
+            kernel(np.asarray([0, 5]), 5, "test")
+
+    def test_grouped_scatter_matches_add_at_reference(self):
+        rng = np.random.default_rng(0)
+        groups = rng.integers(0, 7, size=500)
+        bits = (rng.random((500, 12)) < 0.3).astype(np.int64)
+        reference = np.zeros((7, 12), dtype=np.int64)
+        np.add.at(reference, groups, bits)
+        out = numpy_backend.grouped_scatter(groups, bits, 7)
+        np.testing.assert_array_equal(out, reference)
+        assert out.dtype == np.int64
+
+    def test_grouped_scatter_all_zero_bits(self):
+        out = numpy_backend.grouped_scatter(
+            np.asarray([0, 1, 2]), np.zeros((3, 4), dtype=np.int64), 3
+        )
+        np.testing.assert_array_equal(out, np.zeros((3, 4), dtype=np.int64))
+
+    def test_bulk_hash_support_blocking_is_invisible(self):
+        rng = np.random.default_rng(1)
+        n, d, g = 200, 37, 5
+        a = rng.integers(1, numpy_backend.PRIME, size=n).astype(np.uint64)
+        b = rng.integers(0, numpy_backend.PRIME, size=n).astype(np.uint64)
+        reports = rng.integers(0, g, size=n)
+        whole = numpy_backend.bulk_hash_support(a, b, reports, d, g)
+        blocked = numpy_backend.bulk_hash_support(
+            a, b, reports, d, g, block_elements=64
+        )
+        np.testing.assert_array_equal(whole, blocked)
+
+    def test_universal_hash_range(self):
+        values = np.arange(100, dtype=np.uint64)
+        hashed = numpy_backend.universal_hash(values, 12345, 678, 7)
+        assert hashed.min() >= 0 and hashed.max() < 7
+
+
+class TestReportArrayFastPaths:
+    """The list()-free conversion satellites keep generator support."""
+
+    def test_as_report_array_accepts_generators(self):
+        from repro.mechanisms.kernels import as_report_array
+
+        arr = as_report_array(int(v) for v in range(5))
+        np.testing.assert_array_equal(arr, np.arange(5))
+
+    def test_as_report_array_accepts_lists_and_arrays(self):
+        from repro.mechanisms.kernels import as_report_array
+
+        np.testing.assert_array_equal(as_report_array([3, 1]), [3, 1])
+        np.testing.assert_array_equal(
+            as_report_array(np.asarray([[1], [2]])), [1, 2]
+        )
+
+    def test_as_report_matrix_accepts_generators_and_sequences(self):
+        from repro.mechanisms.kernels import as_report_matrix
+
+        rows = [np.asarray([1, 0, 1]), np.asarray([0, 1, 0])]
+        out = as_report_matrix((row for row in rows), 3, "test")
+        np.testing.assert_array_equal(out, np.asarray(rows))
+        out = as_report_matrix(rows, 3, "test")
+        np.testing.assert_array_equal(out, np.asarray(rows))
+        assert as_report_matrix([], 3, "test").shape == (0, 3)
+
+
+# ----------------------------------------------------------------------
+# numba twins (CI backend-matrix job; skipped where numba is absent)
+# ----------------------------------------------------------------------
+def _oracles(rng_seed):
+    """One oracle per compiled kernel path, freshly seeded."""
+    return [
+        GeneralizedRandomResponse(1.0, 32, rng=rng_seed),
+        OptimizedUnaryEncoding(1.0, 24, rng=rng_seed),
+        SymmetricUnaryEncoding(1.0, 24, rng=rng_seed),
+        OptimalLocalHashing(1.0, 32, rng=rng_seed),
+        Rappor(1.0, 24, rng=rng_seed),
+        HadamardResponse(1.0, 32, rng=rng_seed),
+    ]
+
+
+@pytest.mark.skipif(not numba_backend.available(), reason="numba not installed")
+class TestNumbaTwins:
+    def test_kernel_table_is_complete(self):
+        assert set(numba_backend.KERNELS) == set(numpy_backend.KERNELS)
+
+    def test_perturb_onehot_draw_for_draw(self):
+        positions = np.random.default_rng(0).integers(0, 16, size=400)
+        reference = numpy_backend.perturb_onehot(
+            positions, 16, 0.75, 0.25, np.random.default_rng(7)
+        )
+        compiled = numba_backend.perturb_onehot(
+            positions, 16, 0.75, 0.25, np.random.default_rng(7)
+        )
+        np.testing.assert_array_equal(reference, compiled)
+
+    def test_universal_hash_bit_for_bit(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1000, size=500).astype(np.uint64)
+        a = int(rng.integers(1, numpy_backend.PRIME))
+        b = int(rng.integers(0, numpy_backend.PRIME))
+        np.testing.assert_array_equal(
+            numpy_backend.universal_hash(values, a, b, 17),
+            numba_backend.universal_hash(values, a, b, 17),
+        )
+
+    def test_bulk_hash_support_bit_for_bit(self):
+        rng = np.random.default_rng(2)
+        n, d, g = 300, 41, 5
+        a = rng.integers(1, numpy_backend.PRIME, size=n).astype(np.uint64)
+        b = rng.integers(0, numpy_backend.PRIME, size=n).astype(np.uint64)
+        reports = rng.integers(0, g, size=n)
+        np.testing.assert_array_equal(
+            numpy_backend.bulk_hash_support(a, b, reports, d, g),
+            numba_backend.bulk_hash_support(a, b, reports, d, g),
+        )
+
+    def test_categorical_support_twin_and_errors(self):
+        reports = np.random.default_rng(3).integers(0, 9, size=1000)
+        np.testing.assert_array_equal(
+            numpy_backend.categorical_support(reports, 9),
+            numba_backend.categorical_support(reports, 9),
+        )
+        for bad in ([-1], [9]):
+            with pytest.raises(AggregationError):
+                numba_backend.categorical_support(np.asarray(bad), 9)
+
+    def test_grouped_scatter_twin(self):
+        rng = np.random.default_rng(4)
+        groups = rng.integers(0, 6, size=700)
+        bits = (rng.random((700, 10)) < 0.4).astype(np.int64)
+        np.testing.assert_array_equal(
+            numpy_backend.grouped_scatter(groups, bits, 6),
+            numba_backend.grouped_scatter(groups, bits, 6),
+        )
+
+    @pytest.mark.parametrize("index", range(6))
+    def test_estimate_equivalence_per_oracle(self, index):
+        """Seeded end-to-end runs agree exactly across backends."""
+        values = np.random.default_rng(100 + index).integers(0, 24, size=4000)
+        estimates = {}
+        for name in ("numpy", "numba"):
+            with use_backend(name):
+                oracle = _oracles(42)[index]
+                values_in = values % oracle.domain_size
+                reports = oracle.privatize_many(values_in)
+                support = oracle.aggregate_batch(reports)
+                estimates[name] = oracle.estimate(support, values_in.size)
+        np.testing.assert_array_equal(estimates["numpy"], estimates["numba"])
+
+    def test_get_kernel_dispatches_to_numba(self):
+        with use_backend("numba"):
+            assert get_kernel("grouped_scatter") is numba_backend.grouped_scatter
+            assert backends.active_backend().gil_free is True
