@@ -11,13 +11,18 @@ fresh collector, so cells are independent measurements.
 Besides the text table the run emits a machine-readable
 ``BENCH_serve.json`` (repo root by default; override with
 ``REPRO_BENCH_SERVE_ARTIFACT``), the service counterpart of
-``BENCH_stream.json`` / ``BENCH_protocol.json``.
+``BENCH_stream.json`` / ``BENCH_protocol.json``.  Each cell carries
+per-stage span timings (decode / sort / drain / query, read off the
+collector's always-on registry) so a throughput change is attributable
+to a stage; set ``REPRO_BENCH_SERVE_SPANS`` to also write them as a
+standalone JSON artifact (the CI upload).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import os
 from pathlib import Path
 from typing import Optional, Sequence
 
@@ -66,6 +71,54 @@ def _synthetic_population(
     return labels, items
 
 
+#: Per-stage span histograms read off the collector's registry per cell
+#: (series-name prefix -> stage label in the artifact).
+_STAGE_HISTOGRAMS = {
+    "serve_decode_seconds": "decode_buffer",
+    "serve_flush_sort_seconds": "flush_sort",
+    "shard_drain_seconds": "drain",
+    "serve_query_seconds": "query",
+}
+
+
+def _effective_knobs(overrides: dict) -> dict:
+    """The collector knobs a cell actually ran with, for the meta block.
+
+    Unset knobs fall back to :class:`ReportCollector`'s own signature
+    defaults, so the recorded values can never drift from the code.
+    """
+    import inspect
+
+    from ..serve import ReportCollector
+
+    defaults = {
+        name: parameter.default
+        for name, parameter in inspect.signature(
+            ReportCollector.__init__
+        ).parameters.items()
+    }
+    return {
+        knob: overrides.get(knob, defaults[knob])
+        for knob in (
+            "flush_reports", "high_water", "coalesce_frames", "flush_interval"
+        )
+    }
+
+
+def _stage_spans(snapshot: dict) -> dict:
+    """Aggregate the per-stage timing histograms out of one registry cut."""
+    spans = {}
+    for key, histogram in snapshot.get("histograms", {}).items():
+        name = key.split("{", 1)[0]
+        stage = _STAGE_HISTOGRAMS.get(name)
+        if stage is None:
+            continue
+        entry = spans.setdefault(stage, {"sum_sec": 0.0, "count": 0})
+        entry["sum_sec"] += float(histogram["sum"])
+        entry["count"] += int(histogram["count"])
+    return spans
+
+
 async def _run_cell(
     labels: np.ndarray,
     items: np.ndarray,
@@ -73,10 +126,13 @@ async def _run_cell(
     n_connections: int,
     chunk_size: int,
     shards: int,
+    collector_knobs: dict,
 ) -> dict:
     from ..serve import ReportClient, ReportCollector, generate_load
 
-    async with ReportCollector(default_shards=shards) as collector:
+    async with ReportCollector(
+        default_shards=shards, **collector_knobs
+    ) as collector:
         load = await asyncio.wait_for(
             generate_load(
                 collector.host,
@@ -94,8 +150,26 @@ async def _run_cell(
         )
         async with querier:
             estimate = await querier.estimate()
+        # The collector's private registry is per-cell (fresh collector),
+        # so this cut is exactly this cell's serve-side stage timings;
+        # the drain stage lands on the process registry instead, but the
+        # global snapshot taken after the grid still attributes it.
+        spans = _stage_spans(collector.metrics.snapshot())
     load["estimate"] = estimate
+    load["spans"] = spans
     return load
+
+
+def _span_delta(pre: dict, post: dict) -> dict:
+    """Stage timings accrued between two registry cuts."""
+    out = {}
+    for stage, entry in post.items():
+        base = pre.get(stage, {"sum_sec": 0.0, "count": 0})
+        count = entry["count"] - base["count"]
+        total = entry["sum_sec"] - base["sum_sec"]
+        if count or total:
+            out[stage] = {"sum_sec": total, "count": count}
+    return out
 
 
 def run_serve_benchmark(
@@ -109,12 +183,20 @@ def run_serve_benchmark(
     framework: str = "pts",
     mode: str = "simulate",
     artifact: Optional[str] = None,
+    flush_reports: Optional[int] = None,
+    high_water: Optional[int] = None,
+    coalesce: Optional[int] = None,
+    flush_interval: Optional[float] = None,
 ) -> tuple[str, dict]:
     """Run the serve benchmark; returns ``(report, artifact_payload)``.
 
     Explicit ``n_users`` / ``n_connections`` / ``chunk_size`` /
     ``n_shards`` override the scale's defaults (a single connection count
-    replaces the grid).
+    replaces the grid).  ``flush_reports`` / ``high_water`` /
+    ``coalesce`` / ``flush_interval`` tune the collector's ingest fast
+    lane (micro-batch threshold, backpressure mark, REPORTS frames
+    decoded per event-loop wakeup, periodic sweep period); the values in
+    force are recorded in the artifact ``meta``.
     """
     if scale not in SCALES:
         raise ConfigurationError(
@@ -137,6 +219,15 @@ def run_serve_benchmark(
         raise ConfigurationError(
             "n_users, batch_size, shards and connections must be positive"
         )
+    collector_knobs = {}
+    if flush_reports is not None:
+        collector_knobs["flush_reports"] = int(flush_reports)
+    if high_water is not None:
+        collector_knobs["high_water"] = int(high_water)
+    if coalesce is not None:
+        collector_knobs["coalesce_frames"] = int(coalesce)
+    if flush_interval is not None:
+        collector_knobs["flush_interval"] = float(flush_interval)
 
     rng = ensure_rng(seed)
     labels, items = _synthetic_population(n, c, d, rng)
@@ -163,9 +254,15 @@ def run_serve_benchmark(
                 seed=cell_seed,
                 shards=shards,
             )
+            pre = _stage_spans(registry.snapshot())
             load = asyncio.run(
-                _run_cell(labels, items, config, n_conn, batch, shards)
+                _run_cell(
+                    labels, items, config, n_conn, batch, shards,
+                    collector_knobs,
+                )
             )
+            spans = load.pop("spans")
+            spans.update(_span_delta(pre, _stage_spans(registry.snapshot())))
             error = float(rmse(load.pop("estimate"), truth))
             best = max(best, load["reports_per_sec"])
             rows.append(
@@ -187,6 +284,7 @@ def run_serve_benchmark(
                     "elapsed_sec": load["elapsed_sec"],
                     "reports_per_sec": load["reports_per_sec"],
                     "rmse": error,
+                    "spans": spans,
                 }
             )
 
@@ -202,7 +300,10 @@ def run_serve_benchmark(
         "n_shards": shards,
         "cells": cells,
         "max_reports_per_sec": best,
-        "meta": bench_meta(metrics=registry.snapshot()),
+        "meta": bench_meta(
+            metrics=registry.snapshot(),
+            collector_knobs=_effective_knobs(collector_knobs),
+        ),
     }
     artifact_file = Path(artifact) if artifact is not None else _artifact_path()
     try:
@@ -210,6 +311,23 @@ def run_serve_benchmark(
         artifact_note = f"artifact: {artifact_file}"
     except OSError as error:
         artifact_note = f"artifact not written ({error})"
+    spans_target = os.environ.get("REPRO_BENCH_SERVE_SPANS")
+    if spans_target:
+        spans_payload = {
+            "scale": scale,
+            "cells": [
+                {
+                    "connections": cell["connections"],
+                    "batch_size": cell["batch_size"],
+                    "elapsed_sec": cell["elapsed_sec"],
+                    "spans": cell["spans"],
+                }
+                for cell in cells
+            ],
+        }
+        Path(spans_target).write_text(
+            json.dumps(spans_payload, indent=2) + "\n"
+        )
 
     report = format_table(
         f"Report-collection service throughput (scale={scale}, "

@@ -126,6 +126,33 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="client connection count (default: the scale's grid)",
     )
+    serve.add_argument(
+        "--flush-reports",
+        type=int,
+        default=None,
+        help="collector micro-batch size drained per flush (default 65536)",
+    )
+    serve.add_argument(
+        "--high-water",
+        type=int,
+        default=None,
+        help="collector backpressure ceiling in reports (default 262144)",
+    )
+    serve.add_argument(
+        "--coalesce",
+        type=int,
+        default=None,
+        help=(
+            "most REPORTS frames decoded per event-loop wakeup "
+            "(default 64; 1 disables coalescing)"
+        ),
+    )
+    serve.add_argument(
+        "--flush-interval",
+        type=float,
+        default=None,
+        help="collector background sweep period in seconds (default 0.05)",
+    )
     return parser
 
 
@@ -206,6 +233,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ("--backend", args.backend, ("stream", "protocol")),
         ("--threads", args.threads, ("protocol",)),
         ("--connections", args.connections, ("serve",)),
+        ("--flush-reports", args.flush_reports, ("serve",)),
+        ("--high-water", args.high_water, ("serve",)),
+        ("--coalesce", args.coalesce, ("serve",)),
+        ("--flush-interval", args.flush_interval, ("serve",)),
         ("--users", args.users, BENCHES),
     )
     bad_flags = [
@@ -274,6 +305,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             n_connections=args.connections,
             chunk_size=args.batch_size,
             n_shards=args.shards,
+            flush_reports=args.flush_reports,
+            high_water=args.high_water,
+            coalesce=args.coalesce,
+            flush_interval=args.flush_interval,
         )
         emit("serve", report)
         return 0
@@ -326,7 +361,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--flush-reports",
         type=int,
-        default=8192,
+        default=65_536,
         help="micro-batch size drained into the aggregation plane",
     )
     parser.add_argument(
@@ -340,6 +375,15 @@ def build_serve_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="background buffer sweep period in seconds",
+    )
+    parser.add_argument(
+        "--coalesce",
+        type=int,
+        default=64,
+        help=(
+            "most REPORTS frames decoded per event-loop wakeup "
+            "(1 disables coalescing)"
+        ),
     )
     parser.add_argument(
         "--metrics-port",
@@ -379,6 +423,7 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
             default_shards=args.shards,
             flush_reports=args.flush_reports,
             high_water=args.high_water,
+            coalesce_frames=args.coalesce,
             executor=args.executor,
             transport=args.transport,
         )

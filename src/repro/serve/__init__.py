@@ -7,11 +7,16 @@ on asyncio over the streaming and engine layers:
 
 * :mod:`~repro.serve.protocol` — the length-prefixed wire codec: a JSON
   HELLO handshake carrying the session config, packed binary
-  ``(class_label, report)`` REPORTS frames, and a JSON control channel.
+  ``(class_label, report)`` REPORTS frames (encoded through a reusable
+  interleave arena, decoded as zero-copy views, coalesced off the socket
+  by :class:`FrameReader`), and a JSON control channel.
+* :mod:`~repro.serve.ringbuf` — the zero-allocation ingest buffers:
+  :class:`ReportRing` columnar ring buffers written in place on arrival
+  and the :class:`FlushArena` counting-sort flush scratch.
 * :mod:`~repro.serve.registry` — :class:`SessionRegistry` hosting many
-  concurrent cohorts (:class:`HostedSession`): per-class micro-batch
-  buffers, high/low-water backpressure, and mid-stream queries over
-  :mod:`repro.stream.drain` adapters.
+  concurrent cohorts (:class:`HostedSession`): ring-buffered ingest,
+  high/low-water backpressure, epoch-cached queries, and mid-stream
+  drains over :mod:`repro.stream.drain` adapters.
 * :mod:`~repro.serve.collector` — :class:`ReportCollector`, the
   ``asyncio.start_server`` loop speaking the protocol.
 * :mod:`~repro.serve.client` — :class:`ReportClient` and the
@@ -41,13 +46,18 @@ repro.serve``) and benchmark throughput with ``repro-bench serve``.
 
 from .client import ReportClient, fetch_stats, generate_load
 from .collector import ReportCollector
-from .protocol import ServeError, WireError
+from .protocol import FrameReader, ReportsEncoder, ServeError, WireError
 from .registry import HostedSession, SessionRegistry, canonical_config
+from .ringbuf import FlushArena, ReportRing
 
 __all__ = [
+    "FlushArena",
+    "FrameReader",
     "HostedSession",
     "ReportClient",
     "ReportCollector",
+    "ReportRing",
+    "ReportsEncoder",
     "ServeError",
     "SessionRegistry",
     "WireError",

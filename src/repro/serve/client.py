@@ -41,6 +41,7 @@ class ReportClient:
     ) -> None:
         self._reader = reader
         self._writer = writer
+        self._encoder = protocol.ReportsEncoder()
         self.config = config
         self.session_id = config["session"]
         #: The collector's handshake reply (``created`` flag, kind).
@@ -73,17 +74,16 @@ class ReportClient:
         """Stream aligned report columns; returns the report count sent.
 
         Large populations are cut into ``chunk_size`` reports per frame
-        (default: one maximal frame), with the writer's own flow control
-        awaited between frames so collector backpressure propagates here.
+        (default: one maximal frame), packed back-to-back into the
+        client's resident interleave arena and written in arena-sized
+        batches — with the writer's own flow control awaited between
+        writes so collector backpressure propagates here.  Columns
+        already shaped as contiguous ``int32`` skip the validation scan
+        and conversion copy entirely.
         """
-        labels = np.asarray(labels).ravel()
-        items = np.asarray(items).ravel()
-        if labels.shape != items.shape:
-            raise ServeError(
-                f"labels ({labels.shape}) and items ({items.shape}) must align"
-            )
-        for span in protocol.chunk_spans(labels.size, chunk_size):
-            self._writer.write(protocol.encode_reports(labels[span], items[span]))
+        labels, items = protocol.as_report_columns(labels, items)
+        for payload in self._encoder.pack(labels, items, chunk_size):
+            self._writer.write(payload)
             await self._writer.drain()
         return int(labels.size)
 
@@ -180,12 +180,21 @@ async def generate_load(
     Returns ``{"reports", "elapsed_sec", "reports_per_sec",
     "n_connections"}``; the per-connection ingested counts confirmed at
     BYE must sum to the population, so a lost report fails loudly here.
+
+    The population is validated and shaped to the ``int32`` wire dtype
+    exactly once, then cut into contiguous per-connection slice *views*
+    — a preshaped ``int32`` population flows to the socket with zero
+    validation scans and zero conversion copies per chunk.
     """
-    labels = np.asarray(labels).ravel()
-    items = np.asarray(items).ravel()
     if n_connections < 1:
         raise ServeError(f"n_connections must be >= 1, got {n_connections}")
-    slices = np.array_split(np.arange(labels.size), n_connections)
+    labels, items = protocol.as_report_columns(labels, items)
+    step, extra = divmod(int(labels.size), n_connections)
+    slices, start = [], 0
+    for i in range(n_connections):
+        stop = start + step + (1 if i < extra else 0)
+        slices.append(slice(start, stop))
+        start = stop
 
     async def one_connection(part) -> int:
         client = await ReportClient.connect(host, port, **config)

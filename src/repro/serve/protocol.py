@@ -113,9 +113,16 @@ def decode_json(body: bytes) -> dict:
 def _i32_column(name: str, values) -> np.ndarray:
     """An integer column validated against the int32 wire range — a value
     that would wrap in the packed frame must fail loudly, not corrupt a
-    cell of the served estimate."""
-    column = np.asarray(values).ravel()
-    if column.size == 0:
+    cell of the served estimate.
+
+    Columns already held as ``int32`` pass through untouched: they cannot
+    hold an out-of-range value, so a preshaped report population skips
+    both the min/max scan and any conversion copy on every chunk.
+    """
+    column = np.asarray(values)
+    if column.ndim != 1:
+        column = column.ravel()
+    if column.dtype == np.int32 or column.size == 0:
         return column
     if column.dtype.kind not in "iu":
         raise WireError(f"{name} must be integers, got dtype {column.dtype}")
@@ -127,28 +134,110 @@ def _i32_column(name: str, values) -> np.ndarray:
     return column
 
 
-def encode_reports(labels, items) -> bytes:
-    """A REPORTS frame carrying aligned ``(label, item)`` int32 columns."""
+def as_report_columns(labels, items) -> tuple[np.ndarray, np.ndarray]:
+    """Aligned wire-ready report columns, validated once for a whole send.
+
+    Returns the columns as ``int32`` (converted here if needed, so
+    chunked sends slice preshaped views instead of re-validating and
+    re-packing Python lists per chunk).
+    """
     labels = _i32_column("labels", labels)
     items = _i32_column("items", items)
     if labels.shape != items.shape:
         raise WireError(
             f"labels ({labels.shape}) and items ({items.shape}) must align"
         )
-    n = int(labels.size)
+    if labels.dtype != np.int32:
+        labels = labels.astype(np.int32)
+    if items.dtype != np.int32:
+        items = items.astype(np.int32)
+    return labels, items
+
+
+#: Bytes of header per REPORTS frame: u32 length + u8 type + u32 count.
+_REPORTS_HEADER = _LEN.size + 1 + _COUNT.size
+
+
+def _pack_reports_into(
+    arena: bytearray, offset: int, labels: np.ndarray, items: np.ndarray
+) -> int:
+    """One REPORTS frame at ``arena[offset:]``; returns bytes written.
+
+    The ``(label, item)`` columns interleave straight into the arena
+    through an ``int32`` view — no intermediate pair matrix, no
+    ``tobytes`` copy.
+    """
+    n = int(labels.shape[0])
+    _LEN.pack_into(arena, offset, 1 + _COUNT.size + 8 * n)
+    arena[offset + _LEN.size] = REPORTS
+    _COUNT.pack_into(arena, offset + _LEN.size + 1, n)
+    if n:
+        view = np.frombuffer(
+            arena, dtype="<i4", count=2 * n, offset=offset + _REPORTS_HEADER
+        )
+        view[0::2] = labels
+        view[1::2] = items
+    return _REPORTS_HEADER + 8 * n
+
+
+class ReportsEncoder:
+    """A reusable interleave buffer building REPORTS frames back-to-back.
+
+    The client write path packs many frames into one resident arena and
+    hands the filled prefix to the transport as a single batched write —
+    one write (and one payload copy, unavoidable because the transport
+    may retain the buffer) per arena fill instead of one allocation +
+    interleave + copy per frame.
+    """
+
+    __slots__ = ("_arena",)
+
+    #: Default arena size: a dozen-ish 4096-report frames per write.
+    DEFAULT_ARENA_BYTES = 512 * 1024
+
+    def __init__(self, arena_bytes: int = DEFAULT_ARENA_BYTES) -> None:
+        self._arena = bytearray(max(int(arena_bytes), _REPORTS_HEADER + 8))
+
+    def pack(self, labels, items, chunk_size: Optional[int] = None):
+        """Yield write payloads covering ``(labels, items)``.
+
+        Columns are validated/converted once (see
+        :func:`as_report_columns`); each payload holds as many
+        ``chunk_size``-report frames as fit the arena.
+        """
+        labels, items = as_report_columns(labels, items)
+        arena = self._arena
+        used = 0
+        for span in chunk_spans(labels.shape[0], chunk_size):
+            chunk_labels = labels[span]
+            need = _REPORTS_HEADER + 8 * int(chunk_labels.shape[0])
+            if used + need > len(arena):
+                if used:
+                    yield bytes(memoryview(arena)[:used])
+                    used = 0
+                if need > len(arena):
+                    self._arena = arena = bytearray(need)
+            used += _pack_reports_into(arena, used, chunk_labels, items[span])
+        if used or labels.shape[0] == 0:
+            yield bytes(memoryview(arena)[:used])
+
+
+def encode_reports(labels, items) -> bytes:
+    """A REPORTS frame carrying aligned ``(label, item)`` int32 columns."""
+    labels, items = as_report_columns(labels, items)
+    n = int(labels.shape[0])
     if n > MAX_REPORTS_PER_FRAME:
         raise WireError(
             f"{n} reports exceed the {MAX_REPORTS_PER_FRAME}-per-frame cap; "
             "chunk the batch"
         )
-    pairs = np.empty((n, 2), dtype="<i4")
-    pairs[:, 0] = labels
-    pairs[:, 1] = items
-    return encode_frame(REPORTS, _COUNT.pack(n) + pairs.tobytes())
+    frame = bytearray(_REPORTS_HEADER + 8 * n)
+    _pack_reports_into(frame, 0, labels, items)
+    return bytes(frame)
 
 
-def decode_reports(body: bytes) -> tuple[np.ndarray, np.ndarray]:
-    """``(labels, items)`` int64 columns from a REPORTS frame body."""
+def _reports_flat(body) -> np.ndarray:
+    """The validated flat ``<i4`` view over a REPORTS body (zero-copy)."""
     if len(body) < _COUNT.size:
         raise WireError("truncated REPORTS frame: missing count")
     (n,) = _COUNT.unpack_from(body)
@@ -162,8 +251,30 @@ def decode_reports(body: bytes) -> tuple[np.ndarray, np.ndarray]:
         raise WireError(
             f"REPORTS frame claims {n} reports but carries {flat.size // 2}"
         )
-    pairs = flat.reshape(n, 2).astype(np.int64)
-    return pairs[:, 0], pairs[:, 1]
+    return flat
+
+
+def decode_reports_view(body) -> tuple[np.ndarray, np.ndarray]:
+    """Zero-copy ``(labels, items)`` int32 views over a REPORTS body.
+
+    The strided views alias ``body``'s memory (read-only when ``body`` is
+    ``bytes``): the collector's fast lane writes them straight into a
+    session ring buffer without materialising a per-frame array.  They
+    are only valid while ``body``'s buffer is.
+    """
+    flat = _reports_flat(body)
+    return flat[0::2], flat[1::2]
+
+
+def decode_reports(body) -> tuple[np.ndarray, np.ndarray]:
+    """``(labels, items)`` int64 columns from a REPORTS frame body.
+
+    Each column is materialised with exactly one copy (strided wire view
+    → fresh contiguous ``int64``), so the returned arrays own their data
+    and are writable — safe to hand to any downstream consumer.
+    """
+    flat = _reports_flat(body)
+    return flat[0::2].astype(np.int64), flat[1::2].astype(np.int64)
 
 
 async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
@@ -186,6 +297,116 @@ async def read_frame(reader: asyncio.StreamReader) -> tuple[int, bytes]:
     if frame_type not in _FRAME_TYPES:
         raise WireError(f"unknown frame type {frame_type:#x}")
     return frame_type, payload[1:]
+
+
+class FrameReader:
+    """A buffered frame reader with coalesced REPORTS decode.
+
+    One socket read can surface many frames; :meth:`read_batch` parses
+    them out of a resident byte buffer and hands *consecutive REPORTS
+    frames back as one batch of zero-copy body views* — the collector
+    decodes them in a single pass into the session's ring buffer instead
+    of waking once per frame.  Control frames come back one at a time as
+    owned ``bytes`` (their JSON decode wants a real buffer anyway and
+    they must outlive the read buffer).
+
+    REPORTS body views alias the internal buffer and are only valid
+    until the next ``read_*`` call — consume them before re-entering.
+    """
+
+    __slots__ = ("_reader", "_buf", "_pos", "_coalesce", "_read_size")
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        coalesce: int = 64,
+        read_size: int = 256 * 1024,
+    ) -> None:
+        self._reader = reader
+        self._buf = bytearray()
+        self._pos = 0
+        self._coalesce = max(1, int(coalesce))
+        self._read_size = max(4096, int(read_size))
+
+    def _compact(self) -> None:
+        if not self._pos:
+            return
+        try:
+            del self._buf[: self._pos]
+        except BufferError:  # a stale view still exports the buffer
+            self._buf = bytearray(memoryview(self._buf)[self._pos :])
+        self._pos = 0
+
+    async def _fill(self) -> None:
+        """Grow the buffer by one socket read (EOF raises like
+        ``readexactly``: ``IncompleteReadError`` carrying the partial)."""
+        self._compact()
+        chunk = await self._reader.read(self._read_size)
+        if not chunk:
+            raise asyncio.IncompleteReadError(bytes(self._buf), None)
+        self._buf += chunk
+
+    def _parse(self) -> Optional[tuple[int, int, int]]:
+        """``(frame_type, body_start, body_end)`` of the next complete
+        frame in the buffer (consuming it), or ``None`` to read more."""
+        buf, pos = self._buf, self._pos
+        if len(buf) - pos < _LEN.size:
+            return None
+        (payload_len,) = _LEN.unpack_from(buf, pos)
+        if payload_len < 1:
+            raise WireError("empty frame payload")
+        if payload_len > MAX_FRAME_BYTES:
+            raise WireError(
+                f"incoming frame of {payload_len} bytes exceeds the "
+                f"{MAX_FRAME_BYTES}-byte cap"
+            )
+        end = pos + _LEN.size + payload_len
+        if len(buf) < end:
+            return None
+        frame_type = buf[pos + _LEN.size]
+        if frame_type not in _FRAME_TYPES:
+            raise WireError(f"unknown frame type {frame_type:#x}")
+        self._pos = end
+        return frame_type, pos + _LEN.size + 1, end
+
+    async def _next_frame(self) -> tuple[int, int, int]:
+        while True:
+            parsed = self._parse()
+            if parsed is not None:
+                return parsed
+            await self._fill()
+
+    async def read_frame(self) -> tuple[int, bytes]:
+        """One ``(frame_type, body)`` — the uncoalesced compatible form."""
+        frame_type, start, end = await self._next_frame()
+        return frame_type, bytes(self._buf[start:end])
+
+    async def read_batch(self):
+        """The next control frame, or a coalesced run of REPORTS frames.
+
+        Returns ``(frame_type, body_bytes)`` for control frames and
+        ``(REPORTS, [body_view, ...])`` for reports — every further
+        complete REPORTS frame already sitting in the buffer joins the
+        batch (up to the coalesce cap) without touching the event loop.
+        """
+        frame_type, start, end = await self._next_frame()
+        if frame_type != REPORTS:
+            return frame_type, bytes(self._buf[start:end])
+        view = memoryview(self._buf)
+        bodies = [view[start:end]]
+        while len(bodies) < self._coalesce:
+            mark = self._pos
+            try:
+                parsed = self._parse()
+            except WireError:
+                # Leave the malformed frame for the next read to report.
+                self._pos = mark
+                break
+            if parsed is None or parsed[0] != REPORTS:
+                self._pos = mark
+                break
+            bodies.append(view[parsed[1] : parsed[2]])
+        return REPORTS, bodies
 
 
 async def request(

@@ -8,10 +8,17 @@ fleet behind a :class:`~repro.stream.sharding.ShardedAggregator` (kind
 ``"topk"``) — wrapped in the micro-batching and backpressure state the
 asyncio front-end needs:
 
-* incoming reports buffer *per class* in bounded lists; once
-  ``flush_reports`` accumulate (or the periodic flusher / a query / a BYE
-  fires) the buffers concatenate into one class-sorted batch and drain
-  through a :mod:`repro.stream.drain` adapter in engine-bounded chunks;
+* incoming reports write *in place* into a preallocated columnar ring
+  buffer (:class:`~repro.serve.ringbuf.ReportRing`) — the arrival path
+  allocates nothing; once ``flush_reports`` accumulate (or the periodic
+  flusher / a query / a BYE fires) a counting sort in a resident
+  :class:`~repro.serve.ringbuf.FlushArena` drains the ring into one
+  class-sorted batch, submitted through a :mod:`repro.stream.drain`
+  adapter in engine-bounded chunks;
+* query results are memoized per *drain epoch*: a repeated
+  estimate/topk/class_sizes query answers from cache until a drain (or a
+  mining-round advance) lands, so mid-stream polling under trickle
+  ingest costs nothing between drains;
 * when buffered + in-flight reports exceed ``high_water`` the session
   reports itself unwritable and connections stop reading — TCP pushes the
   backpressure to clients — until ingestion drains below ``low_water``;
@@ -27,6 +34,7 @@ it — with the exact same canonical config, else the join is refused.
 from __future__ import annotations
 
 import asyncio
+import json
 from functools import partial
 from typing import Optional
 
@@ -35,7 +43,7 @@ import numpy as np
 from ..exceptions import DomainError
 from ..mechanisms.engine import batch_spans
 from ..obs.log import log_event
-from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry
+from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, Span
 from ..rng import ensure_rng, spawn
 from ..stream import (
     AggregatorDrain,
@@ -45,7 +53,17 @@ from ..stream import (
     ShardedAggregator,
     make_session,
 )
-from .protocol import ServeError
+from .protocol import ServeError, decode_reports_view
+from .ringbuf import FlushArena, ReportRing
+
+#: Queries whose results are pure functions of the drained state and so
+#: safe to memoize per drain epoch (``stats`` reports live lag and
+#: ``advance_round`` mutates, so neither caches).
+CACHEABLE_QUERIES = frozenset(("estimate", "topk", "class_sizes"))
+
+#: Cached query results kept per session (stale entries are pruned on
+#: insert, so this only bounds distinct concurrently-warm specs).
+MAX_CACHED_QUERIES = 32
 
 #: Session kinds hosted by the collector.
 KINDS = ("framework", "topk")
@@ -212,7 +230,7 @@ class HostedSession:
     def __init__(
         self,
         config: dict,
-        flush_reports: int = 8192,
+        flush_reports: int = 65_536,
         high_water: int = 262_144,
         record: bool = False,
         metrics: Optional[MetricsRegistry] = None,
@@ -235,12 +253,17 @@ class HostedSession:
         self.high_water = int(high_water)
         self.low_water = max(1, self.high_water // 2)
         self._drain = _build_drain(config, record, executor, transport)
-        self._class_items: list[list[np.ndarray]] = [
-            [] for _ in range(self.n_classes)
-        ]
+        self._ring = ReportRing(capacity=max(2 * self.flush_reports, 8192))
+        self._arena = FlushArena()
         self._buffered = 0
         self._inflight = 0
         self.n_accepted = 0
+        # The drain epoch: bumped whenever drained state can change —
+        # reports submitted toward the shards (n_submitted) or a
+        # mining-round advance.  The query cache memoizes per
+        # (epoch, spec).
+        self._mutations = 0
+        self._query_cache: dict[str, tuple[tuple[int, int], object]] = {}
         self._lock = asyncio.Lock()
         self._resume = asyncio.Event()
         self._resume.set()
@@ -263,6 +286,28 @@ class HostedSession:
             self._m_resume = metrics.counter(
                 "serve_backpressure_resume_total", session=self.session_id
             )
+            self._m_occupancy = metrics.gauge(
+                "serve_ring_occupancy", session=self.session_id
+            )
+            self._m_capacity = metrics.gauge(
+                "serve_ring_capacity", session=self.session_id
+            )
+            self._m_capacity.set(self._ring.capacity)
+            self._m_sort = metrics.histogram(
+                "serve_flush_sort_seconds", session=self.session_id
+            )
+            self._m_decode = metrics.histogram(
+                "serve_decode_seconds", session=self.session_id
+            )
+            self._m_cache_hits = metrics.counter(
+                "serve_query_cache_hits_total", session=self.session_id
+            )
+            self._m_cache_misses = metrics.counter(
+                "serve_query_cache_misses_total", session=self.session_id
+            )
+            self._m_query = metrics.histogram(
+                "serve_query_seconds", session=self.session_id
+            )
 
     # ------------------------------------------------------------------
     # buffering and flushing (event-loop thread only)
@@ -277,7 +322,7 @@ class HostedSession:
         return self._drain.drain_log
 
     def buffer(self, labels: np.ndarray, items: np.ndarray) -> int:
-        """Accept one decoded wire batch into the per-class buffers."""
+        """Accept one decoded wire batch into the ingest ring."""
         n = int(labels.size)
         if n == 0:
             return 0
@@ -285,53 +330,74 @@ class HostedSession:
             raise DomainError(f"labels outside [0, {self.n_classes})")
         if items.min() < 0 or items.max() >= self.n_items:
             raise DomainError(f"items outside [0, {self.n_items})")
-        if self.n_classes == 1:
-            self._class_items[0].append(items)
-        else:
-            order = np.argsort(labels, kind="stable")
-            sorted_labels = labels[order]
-            sorted_items = items[order]
-            bounds = np.searchsorted(
-                sorted_labels, np.arange(self.n_classes + 1)
-            )
-            for label in range(self.n_classes):
-                lo, hi = int(bounds[label]), int(bounds[label + 1])
-                if hi > lo:
-                    self._class_items[label].append(sorted_items[lo:hi])
+        self._ring.append(labels, items)
         self._buffered += n
         self.n_accepted += n
         if self._metrics is not None:
             self._m_pending.set(self.pending)
+            self._m_occupancy.set(len(self._ring))
         return n
 
-    def flush(self) -> int:
-        """Drain the class buffers into the aggregation plane.
+    def buffer_frames(self, bodies: list) -> int:
+        """Accept a run of coalesced REPORTS frame bodies in one pass.
 
-        Buffers concatenate into one class-sorted ``(labels, items)``
-        batch, cut into ``flush_reports``-sized sub-batches with the
-        engine's :func:`~repro.mechanisms.engine.batch_spans` before
-        submission.  Loop-thread only; callers serialise against
-        :meth:`query` via the session lock (or skip when it is held).
+        Each body is a zero-copy view over the connection's socket
+        buffer; columns decode as strided ``int32`` views and write in
+        place into the ring — no per-frame ndarray materialises.
+        """
+        if self._metrics is not None:
+            with Span(self._m_decode):
+                total = self._buffer_frames(bodies)
+        else:
+            total = self._buffer_frames(bodies)
+        if total and self._metrics is not None:
+            self._m_pending.set(self.pending)
+            self._m_occupancy.set(len(self._ring))
+        return total
+
+    def _buffer_frames(self, bodies: list) -> int:
+        total = 0
+        for body in bodies:
+            labels, items = decode_reports_view(body)
+            n = int(labels.size)
+            if n == 0:
+                continue
+            # One reduction per column: the int32 wire views reinterpret
+            # as uint32, where a negative value wraps above 2**31 — so a
+            # single unsigned max catches both out-of-range directions.
+            if labels.view(np.uint32).max() >= self.n_classes:
+                raise DomainError(f"labels outside [0, {self.n_classes})")
+            if items.view(np.uint32).max() >= self.n_items:
+                raise DomainError(f"items outside [0, {self.n_items})")
+            self._ring.append(labels, items)
+            total += n
+        self._buffered += total
+        self.n_accepted += total
+        return total
+
+    def flush(self) -> int:
+        """Drain the ingest ring into the aggregation plane.
+
+        A counting sort in the resident arena turns the ring's arrival
+        window into one class-sorted ``(labels, items)`` batch in O(n)
+        (stable within each class), cut into ``flush_reports``-sized
+        sub-batches with the engine's
+        :func:`~repro.mechanisms.engine.batch_spans` before submission.
+        Loop-thread only; callers serialise against :meth:`query` via the
+        session lock (or skip when it is held).
         """
         if self._buffered == 0:
             return 0
-        label_parts, item_parts = [], []
-        for label in range(self.n_classes):
-            chunks = self._class_items[label]
-            if not chunks:
-                continue
-            class_items = chunks[0] if len(chunks) == 1 else np.concatenate(chunks)
-            label_parts.append(
-                np.full(class_items.size, label, dtype=np.int64)
-            )
-            item_parts.append(class_items)
-            self._class_items[label] = []
-        labels = np.concatenate(label_parts)
-        items = np.concatenate(item_parts)
+        if self._metrics is not None:
+            with Span(self._m_sort):
+                labels, items = self._arena.class_sort(self._ring, self.n_classes)
+        else:
+            labels, items = self._arena.class_sort(self._ring, self.n_classes)
         flushed = int(labels.size)
         self._buffered -= flushed
         if self._metrics is not None:
             self._m_flush.observe(flushed)
+            self._m_occupancy.set(len(self._ring))
         loop = asyncio.get_running_loop()
         for span in batch_spans(flushed, 1, self.flush_reports):
             chunk_labels, chunk_items = labels[span], items[span]
@@ -398,15 +464,75 @@ class HostedSession:
     # ------------------------------------------------------------------
     # queries and settling
     # ------------------------------------------------------------------
+    def _epoch(self) -> tuple[int, int]:
+        """The drain epoch a query result is valid for.
+
+        Keyed on ``n_submitted``, not ``n_drained``: submissions are
+        credited synchronously on the loop thread inside :meth:`flush`,
+        while the adapter only reconciles ``n_drained`` on its next
+        ``drain()`` call.  A periodic-sweep flush whose futures complete
+        between queries moves ``n_submitted`` (and so the epoch)
+        immediately, where ``n_drained`` would still name the old state
+        and let a stale cached result through.  A result stored under the
+        lock right after a drain covers exactly the submissions counted
+        so far, so epoch equality certifies the drained state unchanged.
+        """
+        return (int(self._drain.n_submitted), self._mutations)
+
+    def _cached_query(self, key: str):
+        entry = self._query_cache.get(key)
+        if entry is not None and entry[0] == self._epoch():
+            return entry
+        return None
+
     async def query(self, spec: dict):
-        """Answer one control-channel query against a drained snapshot."""
+        """Answer one control-channel query against a drained snapshot.
+
+        Estimate/topk/class_sizes results are memoized per drain epoch:
+        with nothing buffered or in flight, a repeated query answers
+        straight from cache — no flush, no drain, no estimator re-run —
+        until the next drain (or mining-round advance) invalidates it.
+        """
+        query = spec.get("query")
+        cacheable = query in CACHEABLE_QUERIES
+        key = json.dumps(spec, sort_keys=True) if cacheable else None
+        if (
+            cacheable
+            and self._buffered == 0
+            and self._inflight == 0
+            and not self._lock.locked()
+        ):
+            entry = self._cached_query(key)
+            if entry is not None:
+                if self._metrics is not None:
+                    self._m_cache_hits.inc()
+                return entry[1]
         async with self._lock:
             self.flush()
             loop = asyncio.get_running_loop()
             try:
-                return await loop.run_in_executor(None, self._query_sync, spec)
+                with Span(self._m_query if self._metrics is not None else None):
+                    result = await loop.run_in_executor(
+                        None, self._query_sync, spec
+                    )
             finally:
                 self._resume.set()  # re-check writability after the drain
+            if cacheable:
+                if self._metrics is not None:
+                    self._m_cache_misses.inc()
+                # Stamp with the post-drain epoch; a concurrent flush
+                # cannot have landed (the lock is held), so the result is
+                # exactly the drained state this epoch names.
+                epoch = self._epoch()
+                stale = [
+                    k for k, v in self._query_cache.items() if v[0] != epoch
+                ]
+                for k in stale:
+                    del self._query_cache[k]
+                if len(self._query_cache) >= MAX_CACHED_QUERIES:
+                    self._query_cache.pop(next(iter(self._query_cache)))
+                self._query_cache[key] = (epoch, result)
+            return result
 
     async def settle(self) -> None:
         """Flush and drain everything buffered (BYE / shutdown path)."""
@@ -445,6 +571,11 @@ class HostedSession:
         else:
             if query == "advance_round":
                 snapshot.advance_round()
+                # The miner mutated outside the drain path: invalidate
+                # cached results by advancing the epoch.  Plain int
+                # increment — atomic under the GIL, and the cache-hit
+                # path only ever runs on the event-loop thread.
+                self._mutations += 1
                 return self._round_stats(snapshot)
         raise ServeError(
             f"unknown query {query!r} for a {self.kind!r} session"
@@ -484,7 +615,9 @@ class HostedSession:
         a worker thread) this never touches the drain adapter's work
         queue, so the collector can answer a STATS poll without blocking
         the event loop: ``pending`` here is the live ingest lag —
-        accepted minus folded-in reports.
+        buffered plus in-flight reports, both loop-side counters, so a
+        sweep-flushed session reads 0 as soon as its drain futures land
+        (``n_drained`` lags until the next query reconciles the adapter).
         """
         return {
             "session": self.session_id,
@@ -492,7 +625,8 @@ class HostedSession:
             "n_accepted": int(self.n_accepted),
             "buffered": int(self._buffered),
             "inflight": int(self._inflight),
-            "pending": int(self.n_accepted - self._drain.n_drained),
+            "pending": int(self.pending),
+            "n_submitted": int(self._drain.n_submitted),
             "n_drained": int(self._drain.n_drained),
         }
 
@@ -518,7 +652,7 @@ class SessionRegistry:
     def __init__(
         self,
         default_shards: int = 1,
-        flush_reports: int = 8192,
+        flush_reports: int = 65_536,
         high_water: int = 262_144,
         record: bool = False,
         max_sessions: int = 256,

@@ -69,6 +69,11 @@ class BatchDrain:
         self.decay = decay
         self.decay_every = decay_every
         self._since_decay = 0
+        #: Reports handed to :meth:`submit` across the adapter's lifetime.
+        #: Credited synchronously on the submitting thread, so front-ends
+        #: can detect submitted-but-not-yet-credited work without waiting
+        #: for a :meth:`drain` to reconcile :attr:`n_drained`.
+        self.n_submitted = 0
         #: Reports folded into the underlying state across all drains.
         self.n_drained = 0
         self.drain_log: Optional[list[DrainLogEntry]] = [] if record else None
@@ -155,6 +160,7 @@ class AggregatorDrain(BatchDrain):
         labels, items = _as_batch(labels, items)
         shard = self._next % self._aggregator.n_shards
         self._next += 1
+        self.n_submitted += int(labels.size)
         self._record(shard, labels, items)
         return self._aggregator.submit((labels, items), shard=shard)
 
@@ -208,6 +214,7 @@ class SessionDrain(BatchDrain):
 
     def submit(self, labels, items) -> Future:
         labels, items = _as_batch(labels, items)
+        self.n_submitted += int(labels.size)
         self._record(0, labels, items)
         future = self._executor.submit(self._target.ingest_batch, (labels, items))
         self._futures.append(future)

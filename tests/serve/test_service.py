@@ -91,6 +91,55 @@ class TestExactOfflineEquivalence:
         assert offline.n_ingested == labels.size
         np.testing.assert_array_equal(served, offline.estimate())
 
+    def test_equivalence_holds_with_query_cache_engaged(self):
+        """Bit-identical equivalence survives the epoch cache: repeated
+        mid-stream and post-stream queries (hits and misses alike) all
+        answer exactly what an offline replay of the drain log computes."""
+        labels, items = _population()
+        config = _config(framework="ptj", mode="simulate")
+
+        async def serve():
+            async with ReportCollector(record=True) as collector:
+                client = await ReportClient.connect(
+                    collector.host, collector.port, **config
+                )
+                async with client:
+                    half = labels.size // 2
+                    await client.send(labels[:half], items[:half])
+                    mid_first = await client.estimate()  # miss: drains half
+                    mid_second = await client.estimate()  # epoch hit
+                    await client.send(labels[half:], items[half:])
+                    final_first = await client.estimate()  # invalidated: miss
+                    final_second = await client.estimate()  # hit again
+                    log = list(collector.registry.get("cohort").drain_log)
+                counters = collector.metrics.snapshot()["counters"]
+            return mid_first, mid_second, final_first, final_second, log, counters
+
+        mid_first, mid_second, final_first, final_second, log, counters = run(
+            serve()
+        )
+        session = 'session="cohort"'
+        assert counters[f"serve_query_cache_hits_total{{{session}}}"] == 2
+        assert counters[f"serve_query_cache_misses_total{{{session}}}"] == 2
+        np.testing.assert_array_equal(mid_first, mid_second)
+        np.testing.assert_array_equal(final_first, final_second)
+
+        shards = [
+            make_session(
+                "ptj",
+                epsilon=config["epsilon"],
+                n_classes=config["n_classes"],
+                n_items=config["n_items"],
+                mode="simulate",
+                rng=child,
+            )
+            for child in spawn(ensure_rng(config["seed"]), config["shards"])
+        ]
+        replayed = replay_drain_log(log, shards)
+        offline = reduce(lambda a, b: a.merge(b), replayed)
+        assert offline.n_ingested == labels.size
+        np.testing.assert_array_equal(final_first, offline.estimate())
+
 
 class TestServiceBehaviour:
     def test_mid_stream_queries_see_buffered_reports(self):

@@ -81,6 +81,46 @@ class TestStatsFrame:
             == labels.size - sessions[config["session"]]["n_drained"]
         )
 
+    def test_fast_lane_instruments_reconcile_in_stats_frame(self):
+        """The ingest fast lane's telemetry rides the same STATS snapshot:
+        decode/sort span histograms record every hot-path pass, the ring
+        gauges track occupancy/capacity, and the query-cache counters
+        match the observed hit/miss pattern exactly."""
+        labels, items = _population(n=2000)
+        config = _config(session="fastlanestats")
+
+        async def scenario():
+            async with ReportCollector() as collector:
+                client = await ReportClient.connect(
+                    collector.host, collector.port, **config
+                )
+                async with client:
+                    await client.send(labels, items, chunk_size=256)
+                    await client.estimate()  # miss
+                    await client.estimate()  # hit
+                    live = await client.server_stats()
+            return live
+
+        live = run(scenario())
+        session = 'session="fastlanestats"'
+        counters = live["metrics"]["counters"]
+        gauges = live["metrics"]["gauges"]
+        histograms = live["metrics"]["histograms"]
+        assert counters[f"serve_query_cache_misses_total{{{session}}}"] == 1
+        assert counters[f"serve_query_cache_hits_total{{{session}}}"] == 1
+        # Every coalesced decode pass and counting-sort flush is timed.
+        decode = histograms[f"serve_decode_seconds{{{session}}}"]
+        assert decode["count"] >= 1 and decode["sum"] >= 0
+        sort = histograms[f"serve_flush_sort_seconds{{{session}}}"]
+        assert sort["count"] >= 1 and sort["sum"] >= 0
+        query = histograms[f"serve_query_seconds{{{session}}}"]
+        assert query["count"] == 1  # the cache hit never reached a worker
+        # The ring drained before the first query answered; capacity is
+        # the pre-sized power of two covering two full flush thresholds.
+        assert gauges[f"serve_ring_occupancy{{{session}}}"] == 0
+        capacity = int(gauges[f"serve_ring_capacity{{{session}}}"])
+        assert capacity >= 8192 and capacity & (capacity - 1) == 0
+
     def test_stats_answered_before_hello(self):
         """Monitors poll without a session handshake: fetch_stats opens a
         bare connection and sends STATS as its first frame."""

@@ -179,7 +179,7 @@ class TestCLI:
         assert args.host == "127.0.0.1"
         assert args.port == 9009
         assert args.shards == 1
-        assert args.flush_reports == 8192
+        assert args.flush_reports == 65_536
         assert args.metrics_port is None
         assert args.log_json is None
 
