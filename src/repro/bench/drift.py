@@ -1,0 +1,345 @@
+"""Time-varying stream benchmark: staleness and recall under drift.
+
+Replays the synthetic drift workloads of
+:func:`repro.datasets.synthetic.drift_stream` — frequency ramps,
+class-popularity flips, and burst arrivals — against the streaming plane
+and measures how the served state tracks a moving distribution:
+
+* a **windowed framework session** (``ptj`` behind a
+  :class:`~repro.stream.drain.SessionDrain` with a sliding ``window``)
+  serves the pair-count estimate; *staleness* is the total-variation
+  distance between the served estimate and the step's true distribution,
+  and a :class:`~repro.stream.drift.DriftDetector` scores each step's
+  residual against the estimate's closed-form variance bound;
+* an :class:`~repro.stream.topk_session.OnlineTopKSession` mines the
+  per-class top-k continuously (restarting after each completed mining
+  pass); *recall* compares the latest completed result against the
+  step's current true top-k.
+
+Every drift pattern runs under two round-advancement configs — a fixed
+per-round user budget and the adaptive SNR-driven
+:meth:`~repro.stream.topk_session.OnlineTopKSession.maybe_advance` — so
+the artifact shows what adaptivity buys per pattern.
+
+Besides the text report the run writes ``BENCH_drift.json`` (repo root
+by default; override with ``REPRO_BENCH_DRIFT_ARTIFACT``).  The
+``frameworks`` block keys ``"<pattern>:<config>"`` series with
+``reports_per_sec`` so the existing regression gate
+(:mod:`repro.bench.regression`) compares drift runs like any other
+bench artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from ..datasets import DRIFT_PATTERNS, drift_stream
+from ..exceptions import ConfigurationError
+from ..obs import metrics as obs_metrics
+from ..rng import ensure_rng, spawn_seeds
+from ..stream import DriftDetector, SessionDrain, make_session
+from ..stream.topk_session import OnlineTopKSession
+from .reporting import artifact_path, bench_meta, format_table
+
+#: Workload parameters per scale.
+SCALES = {
+    "quick": dict(
+        n_steps=12, reports_per_step=3_000, n_classes=3, n_items=64, k=4
+    ),
+    "full": dict(
+        n_steps=48, reports_per_step=25_000, n_classes=5, n_items=256, k=8
+    ),
+}
+
+#: Round-advancement configurations benchmarked per drift pattern.
+CONFIGS: tuple[str, ...] = ("fixed_window", "adaptive")
+
+#: Sliding-window length, in multiples of one drift step's report volume.
+WINDOW_STEPS = 4
+
+#: SNR bar for the adaptive config's round advancement.
+SNR_THRESHOLD = 3.0
+
+
+def _artifact_path() -> Path:
+    return artifact_path("REPRO_BENCH_DRIFT_ARTIFACT", "BENCH_drift.json")
+
+
+def _staleness(estimate: np.ndarray, truth_probs: np.ndarray) -> float:
+    """Total-variation distance between the served estimate (normalised)
+    and the step's true joint distribution — 0 tracks perfectly, 1 is a
+    disjoint guess.  Negative estimate cells (calibration noise) clip to
+    zero before normalising."""
+    mass = np.clip(np.asarray(estimate, dtype=np.float64), 0.0, None)
+    total = float(mass.sum())
+    if total <= 0.0:
+        return 1.0
+    return float(0.5 * np.abs(mass / total - truth_probs).sum())
+
+
+def _recall(
+    mined: Optional[dict[int, list[int]]], truth_topk: dict[int, list[int]]
+) -> float:
+    """Mean per-class fraction of the true top-k recovered by ``mined``
+    (the miner's latest completed result); 0 before the first result."""
+    if mined is None:
+        return 0.0
+    hits = total = 0
+    for label, truth in truth_topk.items():
+        k = len(truth)
+        hits += len(set(mined.get(label, ())[:k]) & set(truth))
+        total += k
+    return hits / float(total) if total else 0.0
+
+
+def _new_miner(
+    k: int, epsilon: float, n_classes: int, n_items: int, seed: int
+) -> OnlineTopKSession:
+    return OnlineTopKSession(
+        k=k,
+        epsilon=epsilon,
+        n_classes=n_classes,
+        n_items=n_items,
+        mode="simulate",
+        rng=ensure_rng(seed),
+    )
+
+
+def _run_one(
+    pattern: str,
+    config: str,
+    params: dict,
+    epsilon: float,
+    stream_seed: int,
+    session_seed: int,
+    miner_seeds: list[int],
+) -> dict:
+    """One (pattern, config) cell: stream every drift step through the
+    windowed serving session and the continuously restarted miner."""
+    c, d, k = params["n_classes"], params["n_items"], params["k"]
+    per_step = params["reports_per_step"]
+    window = WINDOW_STEPS * per_step
+    fixed_budget = 2 * per_step
+
+    session = make_session(
+        "ptj",
+        epsilon=epsilon,
+        n_classes=c,
+        n_items=d,
+        mode="simulate",
+        rng=ensure_rng(session_seed),
+    )
+    detector = DriftDetector()
+    miner_iter = iter(miner_seeds)
+    miner = _new_miner(k, epsilon, c, d, next(miner_iter))
+    last_result: Optional[dict[int, list[int]]] = None
+    mining_passes = 0
+
+    series: list[dict] = []
+    n_reports = 0
+    with SessionDrain(session, window=window) as drain:
+        with obs_metrics.span(
+            "bench_drift_seconds", pattern=pattern, config=config
+        ) as timer:
+            for batch in drift_stream(
+                pattern,
+                n_steps=params["n_steps"],
+                reports_per_step=per_step,
+                n_classes=c,
+                n_items=d,
+                rng=ensure_rng(stream_seed),
+            ):
+                drain.submit(batch.labels, batch.items)
+                snapshot = drain.snapshot()
+                staleness = _staleness(
+                    snapshot.estimate(), batch.truth.pair_probs()
+                )
+                report = detector.update(
+                    snapshot.estimate(), snapshot.estimate_variance()
+                )
+
+                miner.ingest_batch(batch.labels, batch.items)
+                if config == "adaptive":
+                    # The safety valve sits at 1.5x the fixed budget so a
+                    # pattern whose SNR never clears still finishes one
+                    # mining pass within the stream's report volume.
+                    while miner.maybe_advance(
+                        snr_threshold=SNR_THRESHOLD,
+                        min_round_users=per_step // 2,
+                        max_round_users=(3 * fixed_budget) // 2,
+                    ):
+                        if miner.finished:
+                            break
+                else:
+                    while not miner.finished and miner.round_ingested >= fixed_budget:
+                        miner.advance_round()
+                if miner.finished:
+                    last_result = miner.topk(k)
+                    mining_passes += 1
+                    miner = _new_miner(k, epsilon, c, d, next(miner_iter))
+
+                truth_topk = batch.truth.topk(k)
+                series.append(
+                    {
+                        "time": float(batch.time),
+                        "staleness": staleness,
+                        "drift_score": report.score,
+                        "drifted": report.drifted,
+                        "recall": _recall(last_result, truth_topk),
+                    }
+                )
+                n_reports += batch.n_reports
+        elapsed = timer.elapsed
+
+    staleness_vals = [row["staleness"] for row in series]
+    recalls = [row["recall"] for row in series]
+    return {
+        "pattern": pattern,
+        "config": config,
+        "n_reports": n_reports,
+        "elapsed_sec": elapsed,
+        "reports_per_sec": n_reports / elapsed if elapsed > 0 else float("inf"),
+        "window": window,
+        "staleness_mean": float(np.mean(staleness_vals)),
+        "staleness_final": staleness_vals[-1],
+        "recall_mean": float(np.mean(recalls)),
+        "recall_final": recalls[-1],
+        "n_drift_flags": sum(1 for row in series if row["drifted"]),
+        "mining_passes": mining_passes,
+        "series": series,
+    }
+
+
+def run_drift_benchmark(
+    scale: str = "quick",
+    seed: int = 0,
+    reports_per_step: Optional[int] = None,
+    epsilon: float = 4.0,
+    artifact: Optional[str] = None,
+) -> tuple[str, dict]:
+    """Run the drift benchmark; returns ``(report, artifact_payload)``.
+
+    Every pattern in :data:`~repro.datasets.synthetic.DRIFT_PATTERNS`
+    runs under every config in :data:`CONFIGS`.  The same stream seed is
+    reused across configs of a pattern so fixed-vs-adaptive rows replay
+    the identical drift workload.
+    """
+    if scale not in SCALES:
+        raise ConfigurationError(
+            f"scale must be one of {sorted(SCALES)}, got {scale!r}"
+        )
+    params = dict(SCALES[scale])
+    if reports_per_step is not None:
+        if reports_per_step < 1:
+            raise ConfigurationError(
+                f"reports_per_step must be >= 1, got {reports_per_step}"
+            )
+        params["reports_per_step"] = int(reports_per_step)
+
+    rng = ensure_rng(seed)
+    registry = obs_metrics.get_registry()
+    rows = []
+    cells: dict[str, dict] = {}
+    seeds_used: dict[str, list[int]] = {}
+    # A generous miner-seed pool: the miner restarts after each completed
+    # mining pass, an unknown-ahead-of-time count.
+    miner_pool = 4 + params["n_steps"]
+    with obs_metrics.enabled():
+        for pattern in DRIFT_PATTERNS:
+            stream_seed, session_base = (int(s) for s in spawn_seeds(rng, 2))
+            for config in CONFIGS:
+                session_seed, *miner_seeds = (
+                    int(s) for s in spawn_seeds(ensure_rng(session_base), 1 + miner_pool)
+                )
+                result = _run_one(
+                    pattern,
+                    config,
+                    params,
+                    epsilon,
+                    stream_seed,
+                    session_seed,
+                    miner_seeds,
+                )
+                key = f"{pattern}:{config}"
+                cells[key] = result
+                seeds_used[key] = [stream_seed, session_seed, *miner_seeds]
+                rows.append(
+                    [
+                        pattern,
+                        config,
+                        result["n_reports"],
+                        f"{result['reports_per_sec']:,.0f}",
+                        round(result["staleness_mean"], 3),
+                        round(result["recall_mean"], 3),
+                        round(result["recall_final"], 3),
+                        result["n_drift_flags"],
+                        result["mining_passes"],
+                    ]
+                )
+
+    payload = {
+        "scale": scale,
+        "seed": seed,
+        "epsilon": epsilon,
+        "n_steps": params["n_steps"],
+        "reports_per_step": params["reports_per_step"],
+        "n_classes": params["n_classes"],
+        "n_items": params["n_items"],
+        "k": params["k"],
+        "window_steps": WINDOW_STEPS,
+        "snr_threshold": SNR_THRESHOLD,
+        "patterns": list(DRIFT_PATTERNS),
+        "configs": list(CONFIGS),
+        # The regression gate reads per-series reports_per_sec from here.
+        "frameworks": {
+            key: {
+                "reports_per_sec": cell["reports_per_sec"],
+                "n_ingested": cell["n_reports"],
+                "staleness_mean": cell["staleness_mean"],
+                "recall_mean": cell["recall_mean"],
+                "recall_final": cell["recall_final"],
+                "n_drift_flags": cell["n_drift_flags"],
+                "mining_passes": cell["mining_passes"],
+            }
+            for key, cell in cells.items()
+        },
+        "cells_detail": {
+            key: {field: cell[field] for field in ("window", "series")}
+            for key, cell in cells.items()
+        },
+        "meta": bench_meta(seeds=seeds_used, metrics=registry.snapshot()),
+    }
+    path = Path(artifact) if artifact is not None else _artifact_path()
+    try:
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+        artifact_note = f"artifact: {path}"
+    except OSError as error:
+        artifact_note = f"artifact not written ({error})"
+
+    report = format_table(
+        f"Drift tracking (scale={scale}, eps={epsilon}, "
+        f"c={params['n_classes']}, d={params['n_items']}, k={params['k']}, "
+        f"window={WINDOW_STEPS}x{params['reports_per_step']} reports)",
+        [
+            "pattern",
+            "config",
+            "reports",
+            "reports/sec",
+            "staleness",
+            "recall",
+            "recall@end",
+            "flags",
+            "passes",
+        ],
+        rows,
+        note=(
+            "staleness: total-variation distance served-vs-true per step "
+            "(mean); recall: true top-k recovered by the latest completed "
+            f"mining pass (mean / final step); {artifact_note}"
+        ),
+    )
+    return report, payload

@@ -11,6 +11,7 @@ Examples::
     repro-bench stream --scale quick --shards 4 --executor process
     repro-bench protocol --quick
     repro-bench serve --users 120000 --connections 8
+    repro-bench drift --scale quick --seed 3
     repro-bench obs dump --format=prom   # telemetry snapshot
     python -m repro fig6           # equivalent module form
     repro-serve --port 9009        # standalone collector
@@ -28,7 +29,7 @@ from .bench.experiments import EXPERIMENTS, run_experiment
 from .bench.reporting import bench_scale, emit
 
 #: Benchmark pseudo-experiments with their own option groups.
-BENCHES = ("stream", "protocol", "serve")
+BENCHES = ("stream", "protocol", "serve", "drift")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,8 +46,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             f"experiment id ({', '.join(sorted(EXPERIMENTS))}), 'all', "
             "'stream' (streaming ingestion benchmark), 'protocol' "
-            "(protocol-mode throughput benchmark), or 'serve' "
-            "(report-collection service benchmark)"
+            "(protocol-mode throughput benchmark), 'serve' "
+            "(report-collection service benchmark), or 'drift' "
+            "(time-varying stream staleness/recall benchmark)"
         ),
     )
     parser.add_argument(
@@ -68,7 +70,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench = parser.add_argument_group("stream/protocol benchmark options")
     bench.add_argument(
-        "--users", type=int, default=None, help="population override (reports/users)"
+        "--users",
+        type=int,
+        default=None,
+        help="population override (reports/users; drift: reports per step)",
     )
     stream = parser.add_argument_group("stream/serve benchmark options")
     stream.add_argument(
@@ -224,6 +229,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("  stream   Streaming ingestion throughput benchmark (reports/sec).")
         print("  protocol Protocol-mode throughput benchmark (users/sec).")
         print("  serve    Report-collection service benchmark (reports/sec).")
+        print("  drift    Time-varying stream staleness/recall benchmark.")
         return 0
     flag_scopes = (
         ("--shards", args.shards, ("stream", "serve")),
@@ -294,6 +300,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             threads=threads,
         )
         emit("protocol", report)
+        return 0
+    if args.experiment == "drift":
+        from .bench.drift import run_drift_benchmark
+
+        report, _payload = run_drift_benchmark(
+            scale=args.scale or bench_scale(),
+            seed=args.seed,
+            reports_per_step=args.users,
+        )
+        emit("drift", report)
         return 0
     if args.experiment == "serve":
         from .bench.serve import run_serve_benchmark

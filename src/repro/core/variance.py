@@ -308,3 +308,112 @@ def theorem10_gap_lower_bound(
         f_item * p2 * (1.0 - p2) + (n_total - f_item) * q2 * (1.0 - q2)
     )
     return term1 + term2 + term3
+
+
+# ----------------------------------------------------------------------
+# Streaming plug-in variance matrices
+# ----------------------------------------------------------------------
+#
+# The scalar theorems above take the *true* counts.  A live session only
+# has its own private estimate, so the streaming layer (drift detection,
+# adaptive round advancement) evaluates the same closed forms at the
+# plugged-in estimate, with every population count clipped to its valid
+# range first — negative cells and over-unity sums would otherwise
+# produce negative "variances".  The results are per-cell ``(c, d)``
+# matrices aligned with ``OnlineFrameworkSession.estimate()``.
+
+
+def _clipped_counts(estimate, upper) -> np.ndarray:
+    est = np.asarray(estimate, dtype=np.float64)
+    return np.clip(est, 0.0, np.maximum(np.asarray(upper, dtype=np.float64), 0.0))
+
+
+def ldp_variance_matrix(estimate, n_total: float, p: float, q: float) -> np.ndarray:
+    """Per-cell variance of the calibrated joint-domain (PTJ) estimate,
+    evaluated at the plug-in counts: ``Var(f̂) = [f p(1-p) + (N-f) q(1-q)]
+    / (p-q)^2`` (Theorem 6 with the deniability term absent)."""
+    f = _clipped_counts(estimate, n_total)
+    support_var = f * p * (1.0 - p) + (n_total - f) * q * (1.0 - q)
+    return support_var / (p - q) ** 2
+
+
+def hec_variance_matrix(
+    estimate, group_sizes, n_total: float, p: float, q: float
+) -> np.ndarray:
+    """Per-cell plug-in variance of the HEC estimate.
+
+    Group ``g``'s support is rescaled by ``N / n_g`` in the calibration,
+    so its binomial variance propagates with the square of that factor;
+    the expected in-group holder count is the global estimate thinned by
+    the group sampling rate ``n_g / N``.
+    """
+    sizes = np.asarray(group_sizes, dtype=np.float64)
+    if (sizes <= 0).any():
+        raise DomainError("every HEC group needs at least one user")
+    rate = sizes / max(float(n_total), 1.0)
+    v = _clipped_counts(
+        np.asarray(estimate, dtype=np.float64) * rate[:, None], sizes[:, None]
+    )
+    support_var = v * p * (1.0 - p) + (sizes[:, None] - v) * q * (1.0 - q)
+    scale = float(n_total) / sizes
+    return scale[:, None] ** 2 * support_var / (p - q) ** 2
+
+
+def pts_variance_matrix(
+    estimate,
+    class_sizes,
+    n_total: float,
+    p1: float,
+    q1: float,
+    p2: float,
+    q2: float,
+) -> np.ndarray:
+    """Vectorised :func:`pts_estimate_variance` evaluated at the plug-in
+    estimate: ``class_sizes`` are the (estimated) ``n_C`` and the item
+    totals ``f_item`` come from the estimate's column sums."""
+    n = _clipped_counts(class_sizes, n_total)[:, None]
+    f = _clipped_counts(estimate, n)
+    f_item = np.clip(f.sum(axis=0), f.max(axis=0), float(n_total))[None, :]
+    denom = (p1 - q1) * (p2 - q2)
+    cases = (
+        (f, p1 * p2),
+        (np.maximum(n - f, 0.0), p1 * q2),
+        (np.maximum(f_item - f, 0.0), q1 * p2),
+        (np.maximum(n_total - n - (f_item - f), 0.0), q1 * q2),
+    )
+    support_var = sum(count * pr * (1.0 - pr) for count, pr in cases) / denom**2
+    class_var = (
+        n * p1 * (1.0 - p1) + (n_total - n) * q1 * (1.0 - q1)
+    ) / (p1 - q1) ** 2
+    item_var = (
+        f_item * p2 * (1.0 - p2) + (n_total - f_item) * q2 * (1.0 - q2)
+    ) / (p2 - q2) ** 2
+    class_coef = q2 * (p1 - q1) / denom
+    item_coef = q1 * (p2 - q2) / denom
+    return support_var + class_coef**2 * class_var + item_coef**2 * item_var
+
+
+def cp_variance_matrix(
+    estimate,
+    class_sizes,
+    n_total: float,
+    p1: float,
+    q1: float,
+    p2: float,
+    q2: float,
+) -> np.ndarray:
+    """Vectorised Theorem 8 (:func:`cp_estimate_variance`) evaluated at
+    the plug-in estimate and (estimated) class sizes."""
+    probs = CPProbabilities(p1=p1, q1=q1, p2=p2, q2=q2)
+    n = _clipped_counts(class_sizes, n_total)[:, None]
+    f = _clipped_counts(estimate, n)
+    a, b, e = probs.pass_true, probs.pass_same_class, probs.pass_other_class
+    support_var = (
+        f * a * (1.0 - a)
+        + np.maximum(n - f, 0.0) * b * (1.0 - b)
+        + np.maximum(n_total - n, 0.0) * e * (1.0 - e)
+    ) / probs.denominator**2
+    class_var = (
+        n * (p1 * (1.0 - p1) - q1 * (1.0 - q1)) + n_total * q1 * (1.0 - q1)
+    ) / (p1 - q1) ** 2
+    return support_var + probs.class_correction**2 * class_var

@@ -19,9 +19,14 @@ from .realworld import (
     jd_like,
 )
 from .synthetic import (
+    DRIFT_PATTERNS,
     SYN1_PAIR_COUNTS,
     SYN2_CLASS_SIZES,
     SYN2_PROBE_COUNT,
+    DriftBatch,
+    DriftStep,
+    drift_schedule,
+    drift_stream,
     syn1,
     syn2,
     syn3,
@@ -32,6 +37,9 @@ from .synthetic import (
 __all__ = [
     "ANIME_N_ITEMS",
     "ANIME_N_USERS",
+    "DRIFT_PATTERNS",
+    "DriftBatch",
+    "DriftStep",
     "FeatureStudy",
     "JD_CLASS_SIZES",
     "JD_N_ITEMS",
@@ -41,6 +49,8 @@ __all__ = [
     "SYN2_PROBE_COUNT",
     "anime_like",
     "diabetes_like",
+    "drift_schedule",
+    "drift_stream",
     "heart_disease_like",
     "jd_like",
     "load_pairs_csv",

@@ -20,6 +20,7 @@ Four families, mirroring the paper:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
@@ -294,3 +295,228 @@ def zipf_multiclass(
         rank_counts = rng.multinomial(int(sizes[label]), probs)
         counts[label, rank_maps[label]] = rank_counts
     return LabelItemDataset.from_pair_counts(counts, name=name, rng=rng)
+
+
+# ----------------------------------------------------------------------
+# Time-varying streams: drift workloads
+# ----------------------------------------------------------------------
+#
+# The four SYN families are fixed populations.  Live serving, however,
+# faces *time-varying* streams — the distribution generating reports
+# moves while the collector runs.  The generators below emit timestamped
+# report batches whose instantaneous law follows one of three canonical
+# drift patterns, each batch carrying its own ground truth
+# (``class_probs`` / ``item_probs``) so staleness and recall can be
+# scored per step:
+#
+# * ``"ramp"``  — frequency ramps: every class's item popularity
+#   interpolates linearly from one Zipf ordering to an independent one.
+# * ``"flip"``  — class-popularity flip: item popularity stays put while
+#   the class mix inverts abruptly mid-stream (the dominant class
+#   becomes the rarest).
+# * ``"burst"`` — burst arrivals: a stationary base load punctuated by
+#   volume spikes concentrated on one class and one item.
+
+#: Supported drift patterns, in presentation order.
+DRIFT_PATTERNS: tuple[str, ...] = ("ramp", "flip", "burst")
+
+
+@dataclass(frozen=True)
+class DriftStep:
+    """The generating law at one stream step."""
+
+    class_probs: np.ndarray  #: ``(c,)`` class mix
+    item_probs: np.ndarray  #: ``(c, d)`` per-class item pmf (rows sum to 1)
+    volume: float  #: arrival-rate multiplier for this step
+
+    def pair_probs(self) -> np.ndarray:
+        """Joint ``(c, d)`` pmf of one report at this step."""
+        return self.class_probs[:, None] * self.item_probs
+
+    def topk(self, k: int) -> dict[int, list[int]]:
+        """Per-class true top-``k`` item ids, most probable first."""
+        out: dict[int, list[int]] = {}
+        for label, row in enumerate(self.item_probs):
+            order = np.argsort(-row, kind="stable")[: int(k)]
+            out[label] = [int(v) for v in order]
+        return out
+
+
+@dataclass(frozen=True)
+class DriftBatch:
+    """One timestamped report batch plus its instantaneous ground truth."""
+
+    step: int
+    time: float  #: step start time (seconds since stream start)
+    timestamps: np.ndarray  #: per-report arrival times, non-decreasing
+    labels: np.ndarray
+    items: np.ndarray
+    truth: DriftStep
+
+    @property
+    def n_reports(self) -> int:
+        return int(self.labels.size)
+
+
+def _zipf_row(n_items: int, exponent: float, rng) -> np.ndarray:
+    """A Zipf(``exponent``) pmf over a random permutation of the items."""
+    ranks = np.arange(1, n_items + 1, dtype=np.float64) ** -float(exponent)
+    row = np.empty(n_items, dtype=np.float64)
+    row[rng.permutation(n_items)] = ranks / ranks.sum()
+    return row
+
+
+def drift_schedule(
+    pattern: str,
+    n_steps: int,
+    n_classes: int,
+    n_items: int,
+    rng: RngLike = None,
+    zipf_exponent: float = 1.2,
+    flip_at: Optional[int] = None,
+    burst_every: Optional[int] = None,
+    burst_factor: float = 4.0,
+) -> list[DriftStep]:
+    """The per-step generating laws of one drift pattern.
+
+    ``flip_at`` (pattern ``"flip"``) defaults to the stream midpoint;
+    ``burst_every`` (pattern ``"burst"``) to ``max(3, n_steps // 4)``
+    with each burst lasting one step and multiplying arrivals by
+    ``burst_factor``.
+    """
+    if pattern not in DRIFT_PATTERNS:
+        raise DomainError(
+            f"pattern must be one of {DRIFT_PATTERNS}, got {pattern!r}"
+        )
+    if n_steps < 2:
+        raise DomainError(f"n_steps must be >= 2, got {n_steps}")
+    if n_classes < 1 or n_items < 2:
+        raise DomainError(
+            f"need n_classes >= 1 and n_items >= 2, got {n_classes}/{n_items}"
+        )
+    if burst_factor <= 1.0:
+        raise DomainError(f"burst_factor must be > 1, got {burst_factor!r}")
+    rng = ensure_rng(rng)
+    uniform_mix = np.full(n_classes, 1.0 / n_classes)
+    base = np.stack(
+        [_zipf_row(n_items, zipf_exponent, rng) for _ in range(n_classes)]
+    )
+    steps: list[DriftStep] = []
+    if pattern == "ramp":
+        target = np.stack(
+            [_zipf_row(n_items, zipf_exponent, rng) for _ in range(n_classes)]
+        )
+        for t in range(n_steps):
+            u = t / (n_steps - 1)
+            steps.append(
+                DriftStep(
+                    class_probs=uniform_mix.copy(),
+                    item_probs=(1.0 - u) * base + u * target,
+                    volume=1.0,
+                )
+            )
+    elif pattern == "flip":
+        flip_at = n_steps // 2 if flip_at is None else int(flip_at)
+        if not 1 <= flip_at < n_steps:
+            raise DomainError(
+                f"flip_at must be in [1, n_steps), got {flip_at}"
+            )
+        weights = 2.0 ** -np.arange(n_classes, dtype=np.float64)
+        before = weights / weights.sum()
+        after = before[::-1].copy()
+        for t in range(n_steps):
+            mix = before if t < flip_at else after
+            steps.append(
+                DriftStep(
+                    class_probs=mix.copy(),
+                    item_probs=base.copy(),
+                    volume=1.0,
+                )
+            )
+    else:  # burst
+        burst_every = (
+            max(3, n_steps // 4) if burst_every is None else int(burst_every)
+        )
+        if burst_every < 2:
+            raise DomainError(
+                f"burst_every must be >= 2, got {burst_every}"
+            )
+        for t in range(n_steps):
+            bursting = t > 0 and t % burst_every == 0
+            if not bursting:
+                steps.append(
+                    DriftStep(
+                        class_probs=uniform_mix.copy(),
+                        item_probs=base.copy(),
+                        volume=1.0,
+                    )
+                )
+                continue
+            burst_label = (t // burst_every - 1) % n_classes
+            burst_item = int(rng.integers(0, n_items))
+            mix = 0.5 * uniform_mix.copy()
+            mix[burst_label] += 0.5
+            item_probs = base.copy()
+            item_probs[burst_label] = 0.4 * base[burst_label]
+            item_probs[burst_label, burst_item] += 0.6
+            steps.append(
+                DriftStep(
+                    class_probs=mix,
+                    item_probs=item_probs,
+                    volume=float(burst_factor),
+                )
+            )
+    return steps
+
+
+def drift_stream(
+    pattern: str,
+    n_steps: int = 32,
+    reports_per_step: int = 4096,
+    n_classes: int = 4,
+    n_items: int = 256,
+    step_seconds: float = 1.0,
+    rng: RngLike = None,
+    **schedule_kwargs,
+):
+    """Yield timestamped :class:`DriftBatch` report batches following one
+    of the :data:`DRIFT_PATTERNS`.
+
+    Each step draws ``round(reports_per_step * volume)`` reports from the
+    step's law: labels from the class mix, items from the label's item
+    pmf, arrival times sorted uniform within the step's
+    ``step_seconds``-long interval.  The batch carries its generating
+    :class:`DriftStep` so consumers can score estimates against the
+    instantaneous truth.
+    """
+    if reports_per_step < 1:
+        raise DomainError(
+            f"reports_per_step must be >= 1, got {reports_per_step}"
+        )
+    if step_seconds <= 0:
+        raise DomainError(f"step_seconds must be > 0, got {step_seconds!r}")
+    rng = ensure_rng(rng)
+    schedule = drift_schedule(
+        pattern, n_steps, n_classes, n_items, rng=rng, **schedule_kwargs
+    )
+    for t, truth in enumerate(schedule):
+        n = max(1, int(round(reports_per_step * truth.volume)))
+        labels = rng.choice(n_classes, size=n, p=truth.class_probs)
+        items = np.empty(n, dtype=np.int64)
+        for label in range(n_classes):
+            mask = labels == label
+            count = int(mask.sum())
+            if count:
+                items[mask] = rng.choice(
+                    n_items, size=count, p=truth.item_probs[label]
+                )
+        start = t * float(step_seconds)
+        timestamps = start + np.sort(rng.random(n)) * float(step_seconds)
+        yield DriftBatch(
+            step=t,
+            time=start,
+            timestamps=timestamps,
+            labels=labels.astype(np.int64),
+            items=items,
+            truth=truth,
+        )

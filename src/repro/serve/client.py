@@ -54,8 +54,8 @@ class ReportClient:
 
         ``config`` holds the handshake keys (``session``, ``framework`` or
         ``kind="topk"``, ``epsilon``, ``n_classes``, ``n_items``, optional
-        ``mode`` / ``seed`` / ``shards`` / decay knobs); ``None`` values
-        are elided so server defaults apply.
+        ``mode`` / ``seed`` / ``shards`` / decay knobs or a sliding
+        ``window``); ``None`` values are elided so server defaults apply.
         """
         reader, writer = await asyncio.open_connection(host, port)
         try:
@@ -131,6 +131,17 @@ class ReportClient:
     async def advance_round(self) -> dict:
         """Advance a hosted top-k session's mining round (control plane)."""
         return await self.query("advance_round")
+
+    async def drift(self, threshold: Optional[float] = None) -> dict:
+        """Run a server-side drift check on a framework session.
+
+        The server scores the drained estimate's residual against its
+        closed-form variance bound (see
+        :class:`repro.stream.drift.DriftDetector`); ``threshold``
+        overrides the server's default flag bar for this check.  The
+        first call installs the baseline and reports a zero score.
+        """
+        return await self.query("drift", threshold=threshold)
 
     # ------------------------------------------------------------------
     # lifecycle

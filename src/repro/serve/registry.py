@@ -47,6 +47,7 @@ from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, Span
 from ..rng import ensure_rng, spawn
 from ..stream import (
     AggregatorDrain,
+    DriftDetector,
     OnlineTopKSession,
     SESSIONS,
     SessionDrain,
@@ -79,13 +80,16 @@ _CONFIG_KEYS = frozenset(
         "session", "kind", "framework", "epsilon", "n_classes", "n_items",
         "mode", "label_fraction", "seed", "shards",
         "k", "keep", "extension_bits", "invalid_mode",
-        "decay", "decay_every",
+        "decay", "decay_every", "window",
     )
 )
 
 #: Keys meaningful only for one kind (rejected on the other).  The decay
-#: hook rides OnlineFrameworkSession.decay, which the top-k miner lacks.
-_FRAMEWORK_ONLY = frozenset(("framework", "shards", "decay", "decay_every"))
+#: hook (and the sliding window built on it) rides
+#: OnlineFrameworkSession.decay, which the top-k miner lacks.
+_FRAMEWORK_ONLY = frozenset(
+    ("framework", "shards", "decay", "decay_every", "window")
+)
 _TOPK_ONLY = frozenset(("k", "keep", "extension_bits", "invalid_mode"))
 
 
@@ -134,7 +138,18 @@ def canonical_config(raw: dict, default_shards: int = 1) -> dict:
         "decay_every": (
             None if raw.get("decay_every") is None else int(raw["decay_every"])
         ),
+        "window": None if raw.get("window") is None else int(raw["window"]),
     }
+    if config["window"] is not None:
+        if config["decay"] is not None or config["decay_every"] is not None:
+            raise ServeError(
+                "window and explicit decay/decay_every are mutually "
+                "exclusive — the window policy derives both knobs"
+            )
+        if config["window"] < 2:
+            raise ServeError(
+                f"window must be >= 2 reports, got {config['window']}"
+            )
     if kind == "framework":
         framework = raw.get("framework")
         if framework not in SESSIONS:
@@ -188,7 +203,11 @@ def _build_drain(
     cohort config — they do not affect the statistics, only where shard
     states live and how batches reach them.
     """
-    decay = dict(decay=config["decay"], decay_every=config["decay_every"])
+    decay = dict(
+        decay=config["decay"],
+        decay_every=config["decay_every"],
+        window=config["window"],
+    )
     if config["kind"] == "framework":
         children = spawn(ensure_rng(config["seed"]), config["shards"])
         shards = [
@@ -255,15 +274,16 @@ class HostedSession:
         self._drain = _build_drain(config, record, executor, transport)
         self._ring = ReportRing(capacity=max(2 * self.flush_reports, 8192))
         self._arena = FlushArena()
+        self._drift = DriftDetector()
         self._buffered = 0
         self._inflight = 0
         self.n_accepted = 0
         # The drain epoch: bumped whenever drained state can change —
-        # reports submitted toward the shards (n_submitted) or a
-        # mining-round advance.  The query cache memoizes per
-        # (epoch, spec).
+        # reports submitted toward the shards (n_submitted), a
+        # mining-round advance, or a decay pass (the adapter's generation
+        # counter).  The query cache memoizes per (epoch, spec).
         self._mutations = 0
-        self._query_cache: dict[str, tuple[tuple[int, int], object]] = {}
+        self._query_cache: dict[str, tuple[tuple[int, int, int], object]] = {}
         self._lock = asyncio.Lock()
         self._resume = asyncio.Event()
         self._resume.set()
@@ -307,6 +327,12 @@ class HostedSession:
             )
             self._m_query = metrics.histogram(
                 "serve_query_seconds", session=self.session_id
+            )
+            self._m_drift_score = metrics.gauge(
+                "serve_drift_score", session=self.session_id
+            )
+            self._m_drift_events = metrics.counter(
+                "serve_drift_events_total", session=self.session_id
             )
 
     # ------------------------------------------------------------------
@@ -464,7 +490,7 @@ class HostedSession:
     # ------------------------------------------------------------------
     # queries and settling
     # ------------------------------------------------------------------
-    def _epoch(self) -> tuple[int, int]:
+    def _epoch(self) -> tuple[int, int, int]:
         """The drain epoch a query result is valid for.
 
         Keyed on ``n_submitted``, not ``n_drained``: submissions are
@@ -476,8 +502,18 @@ class HostedSession:
         and let a stale cached result through.  A result stored under the
         lock right after a drain covers exactly the submissions counted
         so far, so epoch equality certifies the drained state unchanged.
+
+        The adapter's ``generation`` counter joins the key because decay
+        mutates the drained state *without* a submit: an ageing pass
+        (hook-driven or out-of-band) between queries would otherwise
+        leave ``n_submitted`` unchanged and serve the pre-decay estimate
+        from cache.
         """
-        return (int(self._drain.n_submitted), self._mutations)
+        return (
+            int(self._drain.n_submitted),
+            self._mutations,
+            int(self._drain.generation),
+        )
 
     def _cached_query(self, key: str):
         entry = self._query_cache.get(key)
@@ -568,6 +604,8 @@ class HostedSession:
                 return snapshot.estimate().tolist()
             if query == "class_sizes":
                 return snapshot.class_sizes().tolist()
+            if query == "drift":
+                return self._drift_check(snapshot, spec)
         else:
             if query == "advance_round":
                 snapshot.advance_round()
@@ -580,6 +618,46 @@ class HostedSession:
         raise ServeError(
             f"unknown query {query!r} for a {self.kind!r} session"
         )
+
+    def _drift_check(self, snapshot, spec: dict) -> dict:
+        """Score the drained estimate against the drift baseline.
+
+        The residual between the current private estimate and the last
+        baseline is normalised by the closed-form variance bound
+        (``estimate_variance``); cells the noise cannot explain flag
+        drift, the detector re-baselines, and the score lands on the
+        ``serve_drift_score`` gauge.  Stateful but intentionally not
+        cached: every check advances the baseline's age.
+        """
+        threshold = spec.get("threshold")
+        try:
+            threshold = None if threshold is None else float(threshold)
+        except (TypeError, ValueError):
+            raise ServeError(
+                f"drift threshold must be a number, got {threshold!r}"
+            ) from None
+        if threshold is not None and not threshold > 0:
+            raise ServeError(
+                f"drift threshold must be > 0, got {threshold!r}"
+            )
+        report = self._drift.update(
+            snapshot.estimate(), snapshot.estimate_variance(),
+            threshold=threshold,
+        )
+        if self._metrics is not None:
+            self._m_drift_score.set(report.score)
+            if report.drifted:
+                self._m_drift_events.inc()
+        if report.drifted:
+            log_event(
+                "serve.drift.flagged",
+                session=self.session_id,
+                score=report.score,
+                n_flagged=report.n_flagged,
+            )
+        out = report.to_dict()
+        out["n_ingested"] = int(self._drain.n_drained)
+        return out
 
     def _round_stats(self, miner) -> dict:
         return {

@@ -47,7 +47,14 @@ from .accumulators import (
     accumulator_for,
 )
 from .checkpoint import load_state, save_state
-from .drain import AggregatorDrain, BatchDrain, SessionDrain, replay_drain_log
+from .drain import (
+    DECAY_EVENT,
+    AggregatorDrain,
+    BatchDrain,
+    SessionDrain,
+    replay_drain_log,
+)
+from .drift import DriftDetector, DriftReport
 from .session import (
     SESSIONS,
     OnlineFrameworkSession,
@@ -59,6 +66,7 @@ from .session import (
 )
 from .sharding import ShardedAggregator, default_shard_count
 from .topk_session import OnlineTopKSession
+from .window import WindowPolicy
 
 __all__ = [
     "ACCUMULATORS",
@@ -67,6 +75,9 @@ __all__ = [
     "BitVectorAccumulator",
     "CorrelatedAccumulator",
     "CountAccumulator",
+    "DECAY_EVENT",
+    "DriftDetector",
+    "DriftReport",
     "FlagFilteredAccumulator",
     "HadamardAccumulator",
     "LocalHashAccumulator",
@@ -80,6 +91,7 @@ __all__ = [
     "SessionDrain",
     "ShardedAggregator",
     "SupportAccumulator",
+    "WindowPolicy",
     "accumulator_for",
     "default_shard_count",
     "load_state",

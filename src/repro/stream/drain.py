@@ -21,7 +21,17 @@ identically seeded sessions and checked for exact equality, and both
 carry the *decayed-ingest hook*: with ``decay`` set, every
 ``decay_every`` ingested reports the underlying state is aged by
 :meth:`~repro.stream.session.OnlineFrameworkSession.decay`, turning any
-front-end into a recency-weighted collector.
+front-end into a recency-weighted collector.  A target *window length*
+can be given instead of the raw knobs (``window=``); it is translated
+through :class:`~repro.stream.window.WindowPolicy`.
+
+Every ageing pass — hook-driven or out-of-band via :meth:`BatchDrain.age`
+— is appended to the drain log as an explicit decay event and bumps the
+adapter's :attr:`~BatchDrain.generation` counter.  The log event makes
+offline replay exact (replaying ingest alone would have to re-derive
+decay points from thresholds, which differing batch splits would move);
+the generation counter lets caches detect state changes that no submit
+accompanied.
 
 Adapters are not thread-safe: callers serialise ``submit``/``drain``
 (the serve collector holds one asyncio lock per hosted session).
@@ -36,8 +46,13 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..obs import metrics as _obs
+from .window import WindowPolicy
 
-#: One recorded submission: ``(shard_index, labels, items)``.
+#: Shard slot of a decay event in the drain log.
+DECAY_EVENT = "decay"
+
+#: One recorded submission ``(shard_index, labels, items)`` — or a decay
+#: event ``(DECAY_EVENT, factor, None)`` marking where ageing applied.
 DrainLogEntry = tuple[int, np.ndarray, np.ndarray]
 
 
@@ -54,8 +69,18 @@ class BatchDrain:
         self,
         decay: Optional[float] = None,
         decay_every: Optional[int] = None,
+        window: Optional[int] = None,
         record: bool = False,
     ) -> None:
+        self.window_policy: Optional[WindowPolicy] = None
+        if window is not None:
+            if decay is not None or decay_every is not None:
+                raise ConfigurationError(
+                    "window and explicit decay/decay_every are mutually "
+                    "exclusive — the window policy derives both knobs"
+                )
+            self.window_policy = WindowPolicy.from_window(window)
+            decay, decay_every = self.window_policy.knobs()
         if (decay is None) != (decay_every is None):
             raise ConfigurationError(
                 "decay and decay_every must be given together"
@@ -69,6 +94,8 @@ class BatchDrain:
         self.decay = decay
         self.decay_every = decay_every
         self._since_decay = 0
+        #: Bumped on every ageing pass — state changes without a submit.
+        self.generation = 0
         #: Reports handed to :meth:`submit` across the adapter's lifetime.
         #: Credited synchronously on the submitting thread, so front-ends
         #: can detect submitted-but-not-yet-credited work without waiting
@@ -102,21 +129,47 @@ class BatchDrain:
         if self.drain_log is not None:
             self.drain_log.append((shard, labels, items))
 
-    def _apply_decay(self, drained: int, targets) -> None:
+    def _decay_targets(self):
+        """The session-like objects an ageing pass must touch."""
+        raise NotImplementedError
+
+    def _age(self, factor: float) -> None:
+        """Apply ``factor`` to every target, bump the generation counter,
+        and record the event in the drain log.  The compounded factor is
+        logged (not the per-period knob) so replay applies exactly the
+        rounding passes the live run did."""
+        for target in self._decay_targets():
+            target.decay(factor)
+        self.generation += 1
+        if self.drain_log is not None:
+            self.drain_log.append((DECAY_EVENT, float(factor), None))
+
+    def _apply_decay(self, drained: int) -> None:
         """One decay per ``decay_every`` ingested reports, regardless of
         how many drains (or how large a drain) delivered them: a drain
         covering several periods compounds the factor, and the remainder
         carries into the next drain, so the ageing schedule tracks the
         report count, not the caller's drain cadence."""
-        if self.decay is None or drained <= 0:
+        if self.decay is None or self.decay == 1.0 or drained <= 0:
             return
         self._since_decay += drained
         periods = self._since_decay // self.decay_every
         if periods:
-            factor = self.decay**periods
-            for target in targets:
-                target.decay(factor)
+            self._age(self.decay**periods)
             self._since_decay -= periods * self.decay_every
+
+    def age(self, factor: float) -> None:
+        """Out-of-band ageing (wall-clock timers, operator commands) —
+        decay that no ingest threshold triggered.  Pending submissions
+        are drained first so the decay lands after them in both the
+        state and the drain log."""
+        if not 0.0 < factor <= 1.0:
+            raise ConfigurationError(
+                f"decay factor must be in (0, 1], got {factor!r}"
+            )
+        self.drain()
+        if factor < 1.0:
+            self._age(factor)
 
     def __enter__(self) -> "BatchDrain":
         return self
@@ -140,9 +193,12 @@ class AggregatorDrain(BatchDrain):
         aggregator,
         decay: Optional[float] = None,
         decay_every: Optional[int] = None,
+        window: Optional[int] = None,
         record: bool = False,
     ) -> None:
-        super().__init__(decay=decay, decay_every=decay_every, record=record)
+        super().__init__(
+            decay=decay, decay_every=decay_every, window=window, record=record
+        )
         if self.decay is not None:
             for shard in aggregator.partials():
                 if not hasattr(shard, "decay"):
@@ -156,6 +212,9 @@ class AggregatorDrain(BatchDrain):
     def aggregator(self):
         return self._aggregator
 
+    def _decay_targets(self):
+        return self._aggregator.partials()
+
     def submit(self, labels, items) -> Future:
         labels, items = _as_batch(labels, items)
         shard = self._next % self._aggregator.n_shards
@@ -168,7 +227,7 @@ class AggregatorDrain(BatchDrain):
         drained = self._aggregator.drain()
         self.n_drained += drained
         self._observe_drain(drained)
-        self._apply_decay(drained, self._aggregator.partials())
+        self._apply_decay(drained)
         return drained
 
     def snapshot(self):
@@ -199,9 +258,12 @@ class SessionDrain(BatchDrain):
         target,
         decay: Optional[float] = None,
         decay_every: Optional[int] = None,
+        window: Optional[int] = None,
         record: bool = False,
     ) -> None:
-        super().__init__(decay=decay, decay_every=decay_every, record=record)
+        super().__init__(
+            decay=decay, decay_every=decay_every, window=window, record=record
+        )
         if self.decay is not None and not hasattr(target, "decay"):
             raise ConfigurationError(f"{target!r} does not support decay")
         self._target = target
@@ -211,6 +273,9 @@ class SessionDrain(BatchDrain):
     @property
     def target(self):
         return self._target
+
+    def _decay_targets(self):
+        return (self._target,)
 
     def submit(self, labels, items) -> Future:
         labels, items = _as_batch(labels, items)
@@ -225,7 +290,7 @@ class SessionDrain(BatchDrain):
         drained = sum(int(future.result() or 0) for future in futures)
         self.n_drained += drained
         self._observe_drain(drained)
-        self._apply_decay(drained, (self._target,))
+        self._apply_decay(drained)
         return drained
 
     def snapshot(self):
@@ -242,11 +307,18 @@ def replay_drain_log(log, shards) -> list:
     ``shards`` are session-like objects seeded exactly as the recorded
     run's shards were (e.g. via :func:`repro.rng.spawn` from the same base
     seed); each log entry is ingested into its shard in log order, which
-    matches the per-shard FIFO of the original run.  Returns the mutated
-    shard list — reduce with ``merge`` (or query the single shard) to
-    compare against the live snapshot.
+    matches the per-shard FIFO of the original run.  Decay events are
+    replayed in place — every shard is aged by the logged compounded
+    factor, exactly where the live run aged its targets — so a decayed
+    session replays bit-identically too.  Returns the mutated shard
+    list — reduce with ``merge`` (or query the single shard) to compare
+    against the live snapshot.
     """
     for shard, labels, items in log:
+        if shard == DECAY_EVENT:
+            for target in shards:
+                target.decay(labels)
+            continue
         if not 0 <= shard < len(shards):
             raise ConfigurationError(
                 f"log names shard {shard} but only {len(shards)} given"

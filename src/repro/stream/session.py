@@ -43,6 +43,12 @@ from ..core.estimators import (
     calibrate_ptj,
     estimate_class_sizes,
 )
+from ..core.variance import (
+    cp_variance_matrix,
+    hec_variance_matrix,
+    ldp_variance_matrix,
+    pts_variance_matrix,
+)
 from ..core.frameworks.hec import simulate_hec_group_support
 from ..core.frameworks.pts import route_labels_grr
 from ..core.topk.reporting import topk_per_class
@@ -183,6 +189,22 @@ class OnlineFrameworkSession:
         """Estimated class amounts ``n̂_C`` from the stream so far."""
         return self.estimate().sum(axis=1)
 
+    def estimate_variance(self) -> np.ndarray:
+        """Per-cell ``(c, d)`` variance bound of :meth:`estimate`.
+
+        The Section-V closed forms evaluated at the plug-in estimate
+        (see ``repro.core.variance``'s ``*_variance_matrix`` helpers) —
+        the noise floor the drift detector measures residuals against.
+        """
+        if self._n == 0:
+            raise ProtocolError(
+                "no data ingested yet; estimate_variance() needs reports"
+            )
+        return self._estimate_variance()
+
+    def _estimate_variance(self) -> np.ndarray:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------
     # ageing
     # ------------------------------------------------------------------
@@ -195,6 +217,13 @@ class OnlineFrameworkSession:
         while fresh batches enter at full weight.  Supports and user counts
         shrink together, so the calibrations stay consistent; the integer
         rounding adds a vanishing O(1) perturbation per counter.
+
+        The user count is rounded with the same half-to-even ``np.rint``
+        as the counters and then clamped to at least 1 while any counter
+        is nonzero — on sparse streams a long decay schedule can round
+        ``_n`` down to 0 while support mass survives, which would make
+        every calibration degenerate (or divide by zero) even though the
+        session still holds signal.
         """
         if not 0.0 < factor <= 1.0:
             raise ConfigurationError(
@@ -202,12 +231,14 @@ class OnlineFrameworkSession:
             )
         if factor == 1.0:
             return
+        any_nonzero = False
         for field in self._STATE_FIELDS:
-            arr = getattr(self, "_" + field)
-            setattr(
-                self, "_" + field, np.rint(arr * factor).astype(np.int64)
-            )
-        self._n = int(round(self._n * factor))
+            arr = np.rint(getattr(self, "_" + field) * factor).astype(np.int64)
+            setattr(self, "_" + field, arr)
+            any_nonzero = any_nonzero or bool(arr.any())
+        self._n = int(np.rint(self._n * factor))
+        if any_nonzero and self._n < 1:
+            self._n = 1
         registry = _obs.get_registry()
         if registry.enabled:
             registry.counter("stream_decay_total", framework=self.name).inc()
@@ -359,6 +390,11 @@ class OnlinePTJ(OnlineFrameworkSession):
             self._support, self._n, self._oracle.p, self._oracle.q, self.n_classes
         )
 
+    def _estimate_variance(self) -> np.ndarray:
+        return ldp_variance_matrix(
+            self._estimate(), self._n, self._oracle.p, self._oracle.q
+        )
+
 
 class OnlinePTS(OnlineFrameworkSession):
     """Streaming PTS: GRR labels (ε₁) + OUE items (ε₂), grouped by
@@ -423,6 +459,17 @@ class OnlinePTS(OnlineFrameworkSession):
             raise ProtocolError("no data ingested yet; class_sizes() needs reports")
         return estimate_class_sizes(
             self._label_counts, self._n, self._label_oracle.p, self._label_oracle.q
+        )
+
+    def _estimate_variance(self) -> np.ndarray:
+        return pts_variance_matrix(
+            self._estimate(),
+            self.class_sizes(),
+            self._n,
+            self._label_oracle.p,
+            self._label_oracle.q,
+            self._item_oracle.p,
+            self._item_oracle.q,
         )
 
     def _config(self) -> dict:
@@ -496,6 +543,17 @@ class OnlinePTSCP(OnlineFrameworkSession):
         if self._n == 0:
             raise ProtocolError("no data ingested yet; class_sizes() needs reports")
         return self._mechanism.estimate_class_sizes(self._correlated_support())
+
+    def _estimate_variance(self) -> np.ndarray:
+        return cp_variance_matrix(
+            self._estimate(),
+            self.class_sizes(),
+            self._n,
+            self._mechanism.p1,
+            self._mechanism.q1,
+            self._mechanism.p2,
+            self._mechanism.q2,
+        )
 
     def _config(self) -> dict:
         out = super()._config()
@@ -576,6 +634,15 @@ class OnlineHEC(OnlineFrameworkSession):
         return calibrate_hec(
             self._group_support,
             self._group_sizes.astype(np.float64),
+            self._n,
+            self._oracle.p,
+            self._oracle.q,
+        )
+
+    def _estimate_variance(self) -> np.ndarray:
+        return hec_variance_matrix(
+            self._estimate(),
+            self._group_sizes,
             self._n,
             self._oracle.p,
             self._oracle.q,

@@ -46,7 +46,7 @@ from ..mechanisms.base import check_domain_size, check_epsilon
 from ..mechanisms.budget import split_budget
 from ..mechanisms.engine import batch_support
 from ..mechanisms.grr import GeneralizedRandomResponse
-from ..mechanisms.ue import OptimizedUnaryEncoding
+from ..mechanisms.ue import OptimizedUnaryEncoding, oue_probabilities
 from ..mechanisms.validity import ValidityPerturbation
 from ..obs import metrics as _obs
 from ..rng import RngLike, ensure_rng
@@ -144,6 +144,7 @@ class OnlineTopKSession:
         ]
         self._round = 0
         self._round_n = 0
+        self._round_class_n = np.zeros(self.n_classes, dtype=np.int64)
         self._n = 0
         self._result: Optional[dict[int, list[int]]] = None
 
@@ -219,6 +220,7 @@ class OnlineTopKSession:
         counts = counts.reshape(self.n_classes, self.n_items)
         if self._label_oracle is not None:
             counts = route_labels_grr(counts, self._label_oracle.p, self.rng)
+        self._round_class_n += counts.sum(axis=1)
         for label in range(self.n_classes):
             cand = self._candidates[label]
             class_counts = counts[label]
@@ -240,6 +242,7 @@ class OnlineTopKSession:
             routed = self._label_oracle.privatize_many(labels)
         else:
             routed = labels
+        self._round_class_n += np.bincount(routed, minlength=self.n_classes)
         for label in range(self.n_classes):
             mask = routed == label
             if not mask.any():
@@ -311,9 +314,98 @@ class OnlineTopKSession:
             self._depth = min(self._depth + self.extension_bits, self.total_bits)
         self._round += 1
         self._round_n = 0
+        self._round_class_n[:] = 0
         registry = _obs.get_registry()
         if registry.enabled:
             registry.counter("topk_rounds_total").inc()
+
+    def round_snr(self) -> float:
+        """Signal-to-noise ratio of the current round's pruning decision.
+
+        For each class with a decision pending (more candidates than the
+        round keeps), calibrate the frontier supports into count
+        estimates ``f̂ = (s - m q) / (p - q)`` — ``m`` the reports GRR
+        routing delivered to the class this round, ``(p, q)`` the item
+        oracle's keep probabilities (identical for VP and OUE).  When the
+        last kept candidate carries significant mass, the class's score
+        is the kept/dropped boundary gap over the combined binomial noise
+        of the two supports; when the boundary sits in pure noise (both
+        candidates statistically zero — the decision between them is
+        immaterial), the score is instead how clearly the strongest
+        candidate rises above the dropped one, i.e. whether the round has
+        resolved any structure at all.  The minimum over classes is
+        returned: the frontier is only as settled as its least-settled
+        class.  ``inf`` when no class has a decision pending, ``0.0``
+        while any deciding class is still empty.
+        """
+        if self.finished:
+            raise ProtocolError("mining is finished; no round to score")
+        p, q = oue_probabilities(self.epsilon2)
+        final = self._round == self.n_rounds - 1
+        boundary = self.k if final else self.keep
+        base_var = 2.0 * q * (1.0 - q)
+        extra_var = p * (1.0 - p) - q * (1.0 - q)
+        worst = np.inf
+        for label in range(self.n_classes):
+            cand = self._candidates[label]
+            if cand.size <= boundary:
+                continue
+            m = float(self._round_class_n[label])
+            if m <= 0.0:
+                return 0.0
+            estimates = (self._support[label] - m * q) / (p - q)
+            order = np.sort(estimates)[::-1]
+            kept, dropped = float(order[boundary - 1]), float(order[boundary])
+            noise_std = np.sqrt(m * q * (1.0 - q)) / (p - q)
+            signal = kept if kept > 2.0 * noise_std else float(order[0])
+            plug_in = np.clip(signal, 0.0, m) + np.clip(dropped, 0.0, m)
+            variance = m * base_var + plug_in * extra_var
+            std = np.sqrt(max(variance, q * (1.0 - q))) / (p - q)
+            worst = min(worst, (signal - dropped) / std)
+        return float(worst)
+
+    def should_advance(
+        self,
+        snr_threshold: float = 3.0,
+        min_round_users: int = 1,
+        max_round_users: Optional[int] = None,
+    ) -> bool:
+        """Whether the round's decision has cleared the noise floor.
+
+        True once :meth:`round_snr` reaches ``snr_threshold`` (after at
+        least ``min_round_users`` reports); ``max_round_users`` is a
+        safety valve that forces an advance regardless of SNR, bounding
+        the budget a pathologically flat class can absorb.
+        """
+        if snr_threshold <= 0:
+            raise ConfigurationError(
+                f"snr_threshold must be > 0, got {snr_threshold!r}"
+            )
+        if self.finished:
+            return False
+        if max_round_users is not None and self._round_n >= max_round_users:
+            return True
+        if self._round_n < max(int(min_round_users), 1):
+            return False
+        return self.round_snr() >= snr_threshold
+
+    def maybe_advance(
+        self,
+        snr_threshold: float = 3.0,
+        min_round_users: int = 1,
+        max_round_users: Optional[int] = None,
+    ) -> bool:
+        """Adaptive round control: advance when the estimated SNR clears
+        ``snr_threshold`` instead of waiting for a fixed user budget.
+        Returns whether a round was advanced."""
+        if self.should_advance(
+            snr_threshold=snr_threshold,
+            min_round_users=min_round_users,
+            max_round_users=max_round_users,
+        ):
+            self.advance_round()
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # queries
@@ -373,7 +465,7 @@ class OnlineTopKSession:
             "n": int(self._n),
             "finished": self._result is not None,
         }
-        arrays = {}
+        arrays = {"round_class_n": self._round_class_n}
         for label in range(self.n_classes):
             arrays[f"candidates_{label}"] = self._candidates[label]
             arrays[f"support_{label}"] = self._support[label]
@@ -416,6 +508,17 @@ class OnlineTopKSession:
         session._round = int(meta["round"])
         session._round_n = int(meta["round_n"])
         session._n = int(meta["n"])
+        if "round_class_n" in arrays:
+            stored = np.asarray(arrays["round_class_n"], dtype=np.int64)
+            if stored.shape != (session.n_classes,):
+                raise ConfigurationError(
+                    f"checkpoint round_class_n has shape {stored.shape}, "
+                    f"expected ({session.n_classes},)"
+                )
+            session._round_class_n = stored
+        # (checkpoints predating per-class round counts restore to zeros:
+        # round_snr() then reports 0.0 until fresh reports arrive, which
+        # only delays an adaptive advance — never corrupts it.)
         candidates, support = [], []
         for label in range(session.n_classes):
             try:

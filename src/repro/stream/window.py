@@ -1,0 +1,80 @@
+"""Sliding-window serving policy over the decayed-ingest hook.
+
+The drain adapters' decay hook (:mod:`repro.stream.drain`) ages the
+underlying state by ``decay`` every ``decay_every`` ingested reports —
+a geometric forgetting schedule.  Operators, however, think in *window
+lengths*: "estimates should reflect roughly the last W reports".
+:class:`WindowPolicy` maps between the two.
+
+With period length ``E = decay_every`` and factor ``γ = decay``, a
+report that is ``k`` periods old carries weight ``γ^k``, so just before
+a decay tick the total retained mass is
+
+    ``E (1 + γ + γ² + …) = E / (1 - γ)``.
+
+Setting that equal to the target window ``W`` gives ``γ = 1 - E / W``:
+the effective cohort size oscillates between ``W - E`` (right after a
+tick) and ``W`` (right before one), so smaller ``E`` tracks the target
+more tightly at the cost of more frequent (cheap) decay passes.  The
+default period is ``W // 8``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..exceptions import ConfigurationError
+
+#: Default number of decay periods per window (``decay_every = window // 8``).
+PERIODS_PER_WINDOW = 8
+
+
+@dataclass(frozen=True)
+class WindowPolicy:
+    """A target sliding window expressed as decay-hook knobs.
+
+    ``window`` is the target effective cohort size in reports;
+    ``decay_every`` the number of ingested reports between decay ticks.
+    """
+
+    window: int
+    decay_every: int
+
+    def __post_init__(self) -> None:
+        window = int(self.window)
+        every = int(self.decay_every)
+        if window < 2:
+            raise ConfigurationError(f"window must be >= 2 reports, got {window}")
+        if not 1 <= every < window:
+            raise ConfigurationError(
+                f"decay_every must be in [1, window), got {every} "
+                f"for window {window}"
+            )
+        object.__setattr__(self, "window", window)
+        object.__setattr__(self, "decay_every", every)
+
+    @classmethod
+    def from_window(
+        cls, window: int, decay_every: Optional[int] = None
+    ) -> "WindowPolicy":
+        """Policy for a target ``window``; the decay period defaults to
+        ``window // PERIODS_PER_WINDOW`` (at least 1)."""
+        window = int(window)
+        if decay_every is None:
+            decay_every = max(1, window // PERIODS_PER_WINDOW)
+        return cls(window=window, decay_every=int(decay_every))
+
+    @property
+    def decay(self) -> float:
+        """Geometric factor ``γ = 1 - decay_every / window``."""
+        return 1.0 - self.decay_every / self.window
+
+    def knobs(self) -> tuple[float, int]:
+        """The ``(decay, decay_every)`` pair the drain adapters take."""
+        return self.decay, self.decay_every
+
+    def effective_size(self) -> float:
+        """Steady-state retained mass just before a decay tick
+        (``decay_every / (1 - decay)`` — equals ``window`` by design)."""
+        return self.decay_every / (1.0 - self.decay)

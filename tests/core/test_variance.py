@@ -178,3 +178,123 @@ class TestTheorem8And10:
             v_pts = pts_estimate_variance(f_item=5e3, **args)
             v_cp = cp_estimate_variance(**args)
             assert v_pts > v_cp
+
+
+class TestVarianceMatrices:
+    """Vectorised plug-in variance bounds behind estimate_variance()."""
+
+    def test_ldp_matrix_matches_the_closed_form(self):
+        from repro.core.variance import ldp_variance_matrix
+
+        est = np.array([[100.0, 0.0], [250.0, 50.0]])
+        out = ldp_variance_matrix(est, n_total=1000.0, p=P, q=Q)
+        expected = (est * P * (1 - P) + (1000.0 - est) * Q * (1 - Q)) / (P - Q) ** 2
+        np.testing.assert_allclose(out, expected)
+
+    def test_ldp_matrix_clips_out_of_range_plug_ins(self):
+        from repro.core.variance import ldp_variance_matrix
+
+        # Calibration noise can push cells below 0 or above N; the
+        # plug-in must clip so the variance stays a valid (positive)
+        # binomial bound.
+        est = np.array([[-40.0, 2000.0]])
+        out = ldp_variance_matrix(est, n_total=1000.0, p=P, q=Q)
+        assert (out > 0).all()
+        np.testing.assert_allclose(
+            out,
+            ldp_variance_matrix(
+                np.array([[0.0, 1000.0]]), n_total=1000.0, p=P, q=Q
+            ),
+        )
+
+    def test_hec_matrix_scales_with_group_rescaling(self):
+        from repro.core.variance import hec_variance_matrix
+
+        est = np.full((2, 3), 50.0)
+        sizes = np.array([800.0, 200.0])
+        out = hec_variance_matrix(est, sizes, n_total=1000.0, p=P, q=Q)
+        assert out.shape == (2, 3)
+        # The smaller group's N/n_g rescaling amplifies its noise.
+        assert (out[1] > out[0]).all()
+
+    def test_hec_matrix_rejects_empty_groups(self):
+        from repro.core.variance import hec_variance_matrix
+
+        with pytest.raises(DomainError):
+            hec_variance_matrix(
+                np.ones((2, 2)), np.array([10.0, 0.0]),
+                n_total=10.0, p=P, q=Q,
+            )
+
+    def test_pts_matrix_matches_scalar_cells(self):
+        from repro.core.variance import pts_variance_matrix
+        from repro.mechanisms.grr import grr_probabilities
+        from repro.mechanisms.ue import oue_probabilities
+
+        p1, q1 = grr_probabilities(1.0, 3)
+        p2, q2 = oue_probabilities(1.0)
+        est = np.array([[400.0, 100.0], [50.0, 250.0], [10.0, 90.0]])
+        sizes = est.sum(axis=1)
+        out = pts_variance_matrix(
+            est, sizes, n_total=float(est.sum()),
+            p1=p1, q1=q1, p2=p2, q2=q2,
+        )
+        f_item = est.sum(axis=0)
+        for c in range(3):
+            for i in range(2):
+                expected = pts_estimate_variance(
+                    f=est[c, i], n=sizes[c], n_total=float(est.sum()),
+                    f_item=f_item[i], p1=p1, q1=q1, p2=p2, q2=q2,
+                )
+                assert out[c, i] == pytest.approx(expected)
+
+    def test_cp_matrix_matches_scalar_cells(self):
+        from repro.core.variance import cp_variance_matrix
+        from repro.mechanisms.grr import grr_probabilities
+        from repro.mechanisms.ue import oue_probabilities
+
+        p1, q1 = grr_probabilities(1.0, 3)
+        p2, q2 = oue_probabilities(1.0)
+        est = np.array([[400.0, 100.0], [50.0, 250.0], [10.0, 90.0]])
+        sizes = est.sum(axis=1)
+        out = cp_variance_matrix(
+            est, sizes, n_total=float(est.sum()),
+            p1=p1, q1=q1, p2=p2, q2=q2,
+        )
+        for c in range(3):
+            for i in range(2):
+                expected = cp_estimate_variance(
+                    f=est[c, i], n=sizes[c], n_total=float(est.sum()),
+                    p1=p1, q1=q1, p2=p2, q2=q2,
+                )
+                assert out[c, i] == pytest.approx(expected)
+
+    @pytest.mark.parametrize("framework", ["ptj", "pts", "pts-cp"])
+    def test_session_variance_bound_covers_observed_error(self, framework):
+        """End-to-end sanity: across repeated runs the realised squared
+        error of each cell stays within a few multiples of the session's
+        own variance bound (it is a bound evaluated at a plug-in, not an
+        exact moment)."""
+        from repro.stream import make_session
+
+        rng = np.random.default_rng(7)
+        c, d, n = 2, 8, 20_000
+        truth = rng.dirichlet(np.ones(c * d)) * n
+        labels, items = np.divmod(
+            rng.choice(c * d, size=n, p=truth / truth.sum()), d
+        )
+        errors, bounds = [], []
+        for run in range(5):
+            session = make_session(
+                framework, epsilon=2.0, n_classes=c, n_items=d,
+                mode="simulate", rng=np.random.default_rng(100 + run),
+            )
+            session.ingest_batch((labels, items))
+            err = (session.estimate() - truth.reshape(c, d)) ** 2
+            errors.append(err)
+            bounds.append(session.estimate_variance())
+        mean_err = np.mean(errors, axis=0)
+        bound = np.mean(bounds, axis=0)
+        assert (bound > 0).all()
+        # Mean squared error within 8x the bound per cell (loose: 5 runs).
+        assert (mean_err <= 8.0 * bound + 1e-9).all()

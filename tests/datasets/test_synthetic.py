@@ -128,3 +128,140 @@ class TestZipf:
         a = zipf_multiclass(1000, 2, 50, rng=np.random.default_rng(5))
         b = zipf_multiclass(1000, 2, 50, rng=np.random.default_rng(5))
         assert (a.pair_counts() == b.pair_counts()).all()
+
+
+class TestDriftSchedules:
+    def _schedule(self, pattern, **kwargs):
+        from repro.datasets import drift_schedule
+
+        base = dict(n_steps=10, n_classes=3, n_items=32,
+                    rng=np.random.default_rng(0))
+        base.update(kwargs)
+        return drift_schedule(pattern, **base)
+
+    def test_every_step_is_a_valid_law(self):
+        for pattern in ("ramp", "flip", "burst"):
+            for step in self._schedule(pattern):
+                assert step.class_probs.shape == (3,)
+                assert step.item_probs.shape == (3, 32)
+                assert step.class_probs.sum() == pytest.approx(1.0)
+                np.testing.assert_allclose(step.item_probs.sum(axis=1), 1.0)
+                assert step.volume >= 1.0
+                assert step.pair_probs().sum() == pytest.approx(1.0)
+
+    def test_ramp_interpolates_between_distinct_laws(self):
+        schedule = self._schedule("ramp")
+        first, last = schedule[0], schedule[-1]
+        # Endpoints differ; the midpoint sits strictly between them.
+        gap = np.abs(first.item_probs - last.item_probs).sum()
+        assert gap > 0.1
+        mid = schedule[len(schedule) // 2]
+        to_first = np.abs(mid.item_probs - first.item_probs).sum()
+        to_last = np.abs(mid.item_probs - last.item_probs).sum()
+        assert 0 < to_first < gap and 0 < to_last < gap
+
+    def test_flip_inverts_the_class_mix_midstream(self):
+        schedule = self._schedule("flip", n_steps=8)
+        before, after = schedule[0], schedule[-1]
+        # The dominant class before the flip becomes the rarest after.
+        assert np.argmax(before.class_probs) == np.argmin(after.class_probs)
+        np.testing.assert_allclose(
+            np.sort(before.class_probs), np.sort(after.class_probs)
+        )
+        # Item popularity is untouched by the flip.
+        np.testing.assert_allclose(before.item_probs, after.item_probs)
+        # The flip is abrupt: exactly two distinct class mixes appear.
+        mixes = {tuple(np.round(s.class_probs, 12)) for s in schedule}
+        assert len(mixes) == 2
+
+    def test_burst_spikes_volume_on_one_class(self):
+        schedule = self._schedule("burst", n_steps=12, burst_factor=4.0)
+        bursts = [s for s in schedule if s.volume > 1.0]
+        quiet = [s for s in schedule if s.volume == 1.0]
+        assert bursts and quiet
+        assert all(s.volume == pytest.approx(4.0) for s in bursts)
+        for step in bursts:
+            hot = int(np.argmax(step.class_probs))
+            # The burst concentrates both the class mix and that class's
+            # item pmf far above the quiet baseline.
+            assert step.class_probs[hot] > max(
+                q.class_probs[hot] for q in quiet
+            )
+            assert step.item_probs[hot].max() > 0.5
+
+    def test_unknown_pattern_and_bad_params_rejected(self):
+        from repro.datasets import drift_schedule
+        from repro.exceptions import DomainError
+
+        with pytest.raises(DomainError):
+            drift_schedule("wobble", n_steps=4, n_classes=2, n_items=8)
+        with pytest.raises(DomainError):
+            drift_schedule("ramp", n_steps=1, n_classes=2, n_items=8)
+        with pytest.raises(DomainError):
+            drift_schedule("burst", n_steps=4, n_classes=2, n_items=8,
+                           burst_factor=1.0)
+
+
+class TestDriftStream:
+    def _stream(self, pattern, **kwargs):
+        from repro.datasets import drift_stream
+
+        base = dict(n_steps=6, reports_per_step=500, n_classes=3,
+                    n_items=32, rng=np.random.default_rng(1))
+        base.update(kwargs)
+        return list(drift_stream(pattern, **base))
+
+    def test_batches_are_timestamped_and_in_domain(self):
+        for pattern in ("ramp", "flip", "burst"):
+            batches = self._stream(pattern)
+            assert len(batches) == 6
+            for t, batch in enumerate(batches):
+                assert batch.step == t
+                assert batch.time == pytest.approx(float(t))
+                assert batch.labels.shape == batch.items.shape
+                assert batch.timestamps.shape == batch.labels.shape
+                # Arrivals are sorted within the step's interval.
+                assert (np.diff(batch.timestamps) >= 0).all()
+                assert batch.timestamps.min() >= batch.time
+                assert batch.timestamps.max() < batch.time + 1.0
+                assert batch.labels.min() >= 0 and batch.labels.max() < 3
+                assert batch.items.min() >= 0 and batch.items.max() < 32
+
+    def test_burst_steps_carry_more_reports(self):
+        batches = self._stream("burst", n_steps=12)
+        sizes = [b.n_reports for b in batches]
+        bursts = [b for b in batches if b.truth.volume > 1.0]
+        assert bursts
+        for batch in bursts:
+            assert batch.n_reports == pytest.approx(
+                500 * batch.truth.volume, abs=1
+            )
+        assert max(sizes) > min(sizes)
+
+    def test_sampled_reports_follow_the_step_law(self):
+        batches = self._stream("flip", reports_per_step=20_000)
+        first, last = batches[0], batches[-1]
+        for batch in (first, last):
+            observed = np.bincount(batch.labels, minlength=3) / batch.n_reports
+            np.testing.assert_allclose(
+                observed, batch.truth.class_probs, atol=0.02
+            )
+        # The flip is visible in the sampled labels themselves.
+        hot = int(np.argmax(first.truth.class_probs))
+        first_share = (first.labels == hot).mean()
+        last_share = (last.labels == hot).mean()
+        assert first_share > last_share + 0.1
+
+    def test_same_seed_reproduces_the_stream(self):
+        from repro.datasets import drift_stream
+
+        def run():
+            return list(drift_stream(
+                "ramp", n_steps=4, reports_per_step=200, n_classes=2,
+                n_items=16, rng=np.random.default_rng(7),
+            ))
+
+        for a, b in zip(run(), run()):
+            np.testing.assert_array_equal(a.labels, b.labels)
+            np.testing.assert_array_equal(a.items, b.items)
+            np.testing.assert_array_equal(a.timestamps, b.timestamps)

@@ -87,6 +87,55 @@ class TestReportRing:
         np.testing.assert_array_equal(out_l, big_l)
         np.testing.assert_array_equal(out_i, big_i)
 
+    def test_regrow_races_a_wrap_boundary(self):
+        """Regrow while the live window straddles the wrap point: the
+        buffered reports sit as two physical segments (tail of the array
+        + its start), and the linearising copy must stitch them back in
+        arrival order before the new batch lands."""
+        ring = ReportRing(capacity=MIN_RING_CAPACITY)
+        cap = ring.capacity
+        pre_l, pre_i = _reports(cap - 100, seed=5)
+        ring.append(pre_l, pre_i)
+        sink = np.empty(cap, dtype=np.int64)
+        ring.consume(sink, sink.copy())  # head parked 100 short of the end
+        # Buffer a batch across the wrap: 100 reports at the physical end,
+        # 200 at the physical start.
+        wrapped_l, wrapped_i = _reports(300, seed=6)
+        ring.append(wrapped_l, wrapped_i)
+        assert ring.capacity == cap  # wrapped in place, no regrow yet
+        # Now outrun the capacity while still wrapped: the regrow must
+        # linearise both segments in order, then take the new batch.
+        burst_l, burst_i = _reports(cap, seed=7)
+        ring.append(burst_l, burst_i)
+        assert ring.capacity == 2 * cap
+        assert len(ring) == 300 + cap
+        out_l = np.empty(300 + cap, dtype=np.int64)
+        out_i = np.empty(300 + cap, dtype=np.int64)
+        ring.consume(out_l, out_i)
+        np.testing.assert_array_equal(out_l, np.concatenate([wrapped_l, burst_l]))
+        np.testing.assert_array_equal(out_i, np.concatenate([wrapped_i, burst_i]))
+
+    def test_regrow_with_wrap_at_exact_segment_boundary(self):
+        """The degenerate wrap: the live window ends exactly at the
+        physical end of the array when the regrow hits, so the 'second
+        segment' is empty — the copy must not read a stale word from the
+        buffer start."""
+        ring = ReportRing(capacity=MIN_RING_CAPACITY)
+        cap = ring.capacity
+        pre_l, pre_i = _reports(cap - 64, seed=8)
+        ring.append(pre_l, pre_i)
+        sink = np.empty(cap, dtype=np.int64)
+        ring.consume(sink, sink.copy())  # head at cap - 64
+        edge_l, edge_i = _reports(64, seed=9)
+        ring.append(edge_l, edge_i)  # fills precisely to the array end
+        big_l, big_i = _reports(cap, seed=10)
+        ring.append(big_l, big_i)  # regrows with head+size == cap exactly
+        out_l = np.empty(64 + cap, dtype=np.int64)
+        out_i = np.empty(64 + cap, dtype=np.int64)
+        ring.consume(out_l, out_i)
+        np.testing.assert_array_equal(out_l, np.concatenate([edge_l, big_l]))
+        np.testing.assert_array_equal(out_i, np.concatenate([edge_i, big_i]))
+
     def test_capacity_is_a_power_of_two(self):
         for requested in (1, 7, 1024, 1025, 100_000):
             ring = ReportRing(capacity=requested)

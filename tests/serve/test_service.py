@@ -141,6 +141,154 @@ class TestExactOfflineEquivalence:
         np.testing.assert_array_equal(final_first, offline.estimate())
 
 
+class TestDecayedServing:
+    def test_decayed_session_replay_bit_identical_with_cache_engaged(self):
+        """A sliding-window session's drain log replays to the exact live
+        state — decay events included — while the query cache serves
+        repeated queries; every answer matches the offline replay."""
+        labels, items = _population()
+        config = _config(framework="ptj", mode="simulate", window=2500)
+
+        async def serve():
+            async with ReportCollector(record=True) as collector:
+                client = await ReportClient.connect(
+                    collector.host, collector.port, **config
+                )
+                async with client:
+                    half = labels.size // 2
+                    await client.send(labels[:half], items[:half])
+                    mid_first = await client.estimate()  # miss: drains+decays
+                    mid_second = await client.estimate()  # epoch hit
+                    await client.send(labels[half:], items[half:])
+                    final_first = await client.estimate()
+                    final_second = await client.estimate()
+                    log = list(collector.registry.get("cohort").drain_log)
+                counters = collector.metrics.snapshot()["counters"]
+            return mid_first, mid_second, final_first, final_second, log, counters
+
+        mid_first, mid_second, final_first, final_second, log, counters = run(
+            serve()
+        )
+        session = 'session="cohort"'
+        assert counters[f"serve_query_cache_hits_total{{{session}}}"] == 2
+        assert counters[f"serve_query_cache_misses_total{{{session}}}"] == 2
+        np.testing.assert_array_equal(mid_first, mid_second)
+        np.testing.assert_array_equal(final_first, final_second)
+
+        decay_events = [entry for entry in log if entry[0] == "decay"]
+        assert decay_events, "a 6000-report stream must tick a 2500 window"
+        # The window bounds the effective cohort despite 6000 sent.
+        assert float(final_first.sum()) < labels.size
+
+        shards = [
+            make_session(
+                "ptj",
+                epsilon=config["epsilon"],
+                n_classes=config["n_classes"],
+                n_items=config["n_items"],
+                mode="simulate",
+                rng=child,
+            )
+            for child in spawn(ensure_rng(config["seed"]), config["shards"])
+        ]
+        replayed = replay_drain_log(log, shards)
+        offline = reduce(lambda a, b: a.merge(b), replayed)
+        np.testing.assert_array_equal(final_first, offline.estimate())
+
+    def test_cache_invalidates_across_out_of_band_decay(self):
+        """Ageing that no submit accompanied (drain.age) must still bust
+        the epoch cache: the next query recomputes instead of serving the
+        pre-decay answer."""
+        labels, items = _population(n=2000)
+        config = _config(session="aged", shards=1)
+
+        async def scenario():
+            async with ReportCollector() as collector:
+                client = await ReportClient.connect(
+                    collector.host, collector.port, **config
+                )
+                async with client:
+                    await client.send(labels, items)
+                    before = await client.estimate()  # miss
+                    cached = await client.estimate()  # hit
+                    hosted = collector.registry.get("aged")
+                    hosted._drain.age(0.5)  # no submit, state changed
+                    after = await client.estimate()  # must miss
+                    again = await client.estimate()  # hit on the new epoch
+                counters = collector.metrics.snapshot()["counters"]
+            return before, cached, after, again, counters
+
+        before, cached, after, again, counters = run(scenario())
+        session = 'session="aged"'
+        assert counters[f"serve_query_cache_hits_total{{{session}}}"] == 2
+        assert counters[f"serve_query_cache_misses_total{{{session}}}"] == 2
+        np.testing.assert_array_equal(before, cached)
+        np.testing.assert_array_equal(after, again)
+        # The decay halved the state; a stale cache would have hidden it.
+        assert not np.array_equal(before, after)
+        assert float(after.sum()) == pytest.approx(
+            float(before.sum()) * 0.5, rel=0.05
+        )
+
+    def test_drift_query_flags_distribution_shift(self):
+        """The drift control query scores residuals against the variance
+        bound: quiet under a stable stream, flagged (with cell
+        coordinates and telemetry) after a hard shift."""
+        rng = np.random.default_rng(11)
+        c, d, n = 3, 32, 4000
+        config = _config(session="drifty", epsilon=4.0, window=4000, shards=1)
+
+        async def scenario():
+            async with ReportCollector() as collector:
+                client = await ReportClient.connect(
+                    collector.host, collector.port, **config
+                )
+                async with client:
+                    await client.send(
+                        rng.integers(0, c, n), rng.integers(0, d, n)
+                    )
+                    first = await client.drift()
+                    await client.send(
+                        rng.integers(0, c, n), rng.integers(0, d, n)
+                    )
+                    stable = await client.drift()
+                    await client.send(
+                        np.zeros(n, dtype=np.int64),
+                        np.full(n, 7, dtype=np.int64),
+                    )
+                    shifted = await client.drift(threshold=4.0)
+                gauges = collector.metrics.snapshot()["gauges"]
+                counters = collector.metrics.snapshot()["counters"]
+            return first, stable, shifted, gauges, counters
+
+        first, stable, shifted, gauges, counters = run(scenario())
+        assert first["score"] == 0.0 and not first["drifted"]
+        assert not stable["drifted"], stable
+        assert shifted["drifted"] and [0, 7] in shifted["flagged"]
+        assert shifted["n_ingested"] == 3 * n
+        session = 'session="drifty"'
+        assert gauges[f"serve_drift_score{{{session}}}"] == pytest.approx(
+            shifted["score"]
+        )
+        assert counters[f"serve_drift_events_total{{{session}}}"] == 1
+
+    def test_window_config_validation(self):
+        async def scenario():
+            async with ReportCollector() as collector:
+                with pytest.raises(ServeError, match="window"):
+                    await ReportClient.connect(
+                        collector.host,
+                        collector.port,
+                        **_config(window=1000, decay=0.5, decay_every=100),
+                    )
+                with pytest.raises(ServeError, match="window"):
+                    await ReportClient.connect(
+                        collector.host, collector.port, **_config(window=1)
+                    )
+
+        run(scenario())
+
+
 class TestServiceBehaviour:
     def test_mid_stream_queries_see_buffered_reports(self):
         labels, items = _population(n=1000)

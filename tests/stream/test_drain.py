@@ -8,6 +8,7 @@ from functools import reduce
 from repro.exceptions import ConfigurationError
 from repro.rng import ensure_rng, spawn
 from repro.stream import (
+    DECAY_EVENT,
     AggregatorDrain,
     OnlineTopKSession,
     SessionDrain,
@@ -119,6 +120,91 @@ class TestAggregatorDrain:
         assert drain.snapshot().n_ingested <= (after_big + 1200) * 0.5 + 5
         drain.close()
 
+    def test_decayed_drain_log_replays_bit_identically(self):
+        """Decay passes land in the drain log as explicit events, so an
+        offline replay of a decayed run reproduces the live state exactly
+        — including every integer rounding pass."""
+        batches = _batches(seed=21)
+        with AggregatorDrain(
+            ShardedAggregator(_shards(13, 2, mode="simulate")),
+            decay=0.7,
+            decay_every=900,
+            record=True,
+        ) as drain:
+            for labels, items in batches:
+                drain.submit(labels, items)
+                drain.drain()  # drain per batch: several decay ticks land
+            live = drain.snapshot()
+            log = list(drain.drain_log)
+
+        decay_events = [entry for entry in log if entry[0] == DECAY_EVENT]
+        assert decay_events, "the schedule must have ticked at least once"
+        assert all(factor == 0.7 for _, factor, _ in decay_events)
+
+        twins = replay_drain_log(log, _shards(13, 2, mode="simulate"))
+        offline = reduce(lambda a, b: a.merge(b), twins)
+        assert offline.n_ingested == live.n_ingested
+        np.testing.assert_array_equal(offline._support, live._support)
+        np.testing.assert_array_equal(offline.estimate(), live.estimate())
+
+    def test_compounded_factor_is_logged_not_the_knob(self):
+        """A single drain spanning several periods logs one event with
+        the compounded factor, so replay applies the same single rounding
+        pass the live run did."""
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(14, 1, mode="simulate")),
+            decay=0.5,
+            decay_every=1000,
+            record=True,
+        )
+        big = np.zeros(3000, dtype=np.int64)
+        drain.submit(big, big)
+        drain.drain()
+        events = [e for e in drain.drain_log if e[0] == DECAY_EVENT]
+        assert len(events) == 1
+        assert events[0][1] == pytest.approx(0.5**3)
+        drain.close()
+
+    def test_window_knob_derives_decay_schedule(self):
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(15, 1, mode="simulate")), window=4000
+        )
+        assert drain.window_policy is not None
+        assert drain.decay_every == 500
+        assert drain.decay == pytest.approx(1.0 - 500 / 4000)
+        # Stream far more than the window: retained mass stays bounded
+        # near the target instead of growing with the stream.
+        big = np.zeros(20_000, dtype=np.int64)
+        drain.submit(big, big)
+        drain.drain()
+        assert drain.snapshot().n_ingested <= 4000
+        drain.close()
+
+    def test_window_exclusive_with_raw_knobs(self):
+        agg = ShardedAggregator(_shards(16, 1, mode="simulate"))
+        with pytest.raises(ConfigurationError):
+            AggregatorDrain(agg, window=1000, decay=0.5, decay_every=10)
+        agg.close()
+
+    def test_out_of_band_age_bumps_generation_and_logs(self):
+        drain = AggregatorDrain(
+            ShardedAggregator(_shards(17, 1, mode="simulate")), record=True
+        )
+        batch = np.zeros(500, dtype=np.int64)
+        drain.submit(batch, batch)
+        assert drain.generation == 0
+        drain.age(0.5)  # drains pending work first, then ages
+        assert drain.generation == 1
+        assert drain.n_drained == 500
+        assert drain.snapshot().n_ingested == 250
+        assert drain.drain_log[-1][0] == DECAY_EVENT
+        # A no-op factor neither logs nor bumps the generation.
+        drain.age(1.0)
+        assert drain.generation == 1
+        with pytest.raises(ConfigurationError):
+            drain.age(0.0)
+        drain.close()
+
     def test_decay_requires_both_knobs(self):
         agg = ShardedAggregator(_shards(6, 1))
         with pytest.raises(ConfigurationError):
@@ -172,3 +258,44 @@ class TestSessionDecay:
             with pytest.raises(ConfigurationError):
                 session.decay(bad)
         session.decay(1.0)  # no-op
+
+    @pytest.mark.parametrize("framework", ["ptj", "pts", "pts-cp", "hec"])
+    def test_long_decay_schedule_on_tiny_cohort_never_degenerates(
+        self, framework
+    ):
+        """Regression: rounding could drive the user count to 0 while
+        support mass survived, making every calibration degenerate.  The
+        count now stays clamped to >= 1 whenever any counter is nonzero,
+        so estimates and variances remain finite through an arbitrarily
+        long decay schedule."""
+        session = make_session(
+            framework, epsilon=2.0, n_classes=2, n_items=8,
+            mode="simulate", rng=np.random.default_rng(42),
+        )
+        labels = np.array([0, 0, 1, 0, 1], dtype=np.int64)
+        items = np.array([1, 2, 3, 1, 0], dtype=np.int64)
+        session.ingest_batch((labels, items))
+        for _ in range(60):
+            session.decay(0.45)
+            any_nonzero = any(
+                getattr(session, "_" + field).any()
+                for field in session._STATE_FIELDS
+            )
+            if any_nonzero:
+                assert session.n_ingested >= 1
+                if framework == "hec" and not getattr(
+                    session, "_group_sizes"
+                ).all():
+                    continue  # HEC refuses estimates with an empty group
+                assert np.isfinite(session.estimate()).all()
+                assert np.isfinite(session.estimate_variance()).all()
+            else:
+                # Once every counter reached zero the count may too.
+                assert session.n_ingested >= 0
+        # 0.45**60 annihilates everything: the schedule must terminate
+        # with a genuinely empty session, not a stuck count.
+        assert not any(
+            getattr(session, "_" + field).any()
+            for field in session._STATE_FIELDS
+        )
+        assert session.n_ingested == 0

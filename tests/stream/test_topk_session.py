@@ -149,3 +149,130 @@ class TestRoundControl:
             mined = session.run(labels, items)
             assert mined[0] == [13]
             assert mined[1] == [13]
+
+
+class TestAdaptiveAdvancement:
+    """SNR-driven round control: advance when the pruning decision clears
+    the noise floor instead of waiting for a fixed user budget."""
+
+    def _session(self, seed=3, **overrides):
+        kwargs = dict(k=3, epsilon=4.0, n_classes=3, n_items=256,
+                      rng=np.random.default_rng(seed))
+        kwargs.update(overrides)
+        return OnlineTopKSession(**kwargs)
+
+    def test_snr_zero_before_any_reports(self):
+        session = self._session()
+        assert session.round_snr() == 0.0
+        assert not session.should_advance()
+
+    def test_snr_infinite_when_no_decision_pending(self):
+        # Frontier already at or below the keep width: nothing to prune.
+        session = OnlineTopKSession(
+            k=8, epsilon=2.0, n_classes=2, n_items=8,
+            rng=np.random.default_rng(4),
+        )
+        session.ingest_batch(
+            np.zeros(100, dtype=np.int64),
+            np.arange(100, dtype=np.int64) % 8,
+        )
+        assert session.round_snr() == np.inf
+        assert session.should_advance()
+
+    def test_snr_separates_structure_from_noise(self):
+        """At equal report volume, a stream whose heavy hitters occupy
+        distinct prefixes scores far above a uniform stream: the SNR
+        measures whether the round has resolved its pruning decision,
+        not how many users arrived."""
+        rng = np.random.default_rng(5)
+        n = 4000
+        labels = rng.integers(0, 3, n)
+        # Three heavy items per class in three *different* depth-3
+        # prefixes, so the keep boundary separates signal from noise.
+        items = rng.choice(np.array([5, 70, 135]), size=n)
+        noise = rng.random(n) < 0.2
+        items[noise] = rng.integers(0, 256, int(noise.sum()))
+        planted = self._session()
+        planted.ingest_batch(labels, items)
+        uniform = self._session(seed=12)
+        uniform.ingest_batch(
+            rng.integers(0, 3, n), rng.integers(0, 256, n)
+        )
+        assert planted.round_snr() > 2.0 * max(uniform.round_snr(), 0.5)
+        assert planted.round_snr() > 3.0
+
+    def test_adaptive_run_mines_planted_hitters(self):
+        rng = np.random.default_rng(6)
+        labels, items, heavy = _planted_stream(rng, c=3, d=256, n=90_000)
+        session = self._session(seed=7)
+        batch = 3000
+        for start in range(0, labels.size, batch):
+            if session.finished:
+                break
+            session.ingest_batch(
+                labels[start : start + batch], items[start : start + batch]
+            )
+            session.maybe_advance(
+                snr_threshold=3.0, min_round_users=batch,
+                max_round_users=30_000,
+            )
+        while not session.finished:
+            session.ingest_batch(labels[:batch], items[:batch])
+            session.maybe_advance(
+                snr_threshold=3.0, min_round_users=batch,
+                max_round_users=30_000,
+            )
+        mined = session.topk()
+        hits = sum(
+            len(set(mined[label]) & set(hitters))
+            for label, hitters in heavy.items()
+        )
+        assert hits >= 6  # 9 planted across 3 classes
+
+    def test_max_round_users_forces_advance_on_flat_stream(self):
+        rng = np.random.default_rng(8)
+        session = self._session(seed=9)
+        round_before = session.round
+        # Uniform items: no prunable structure, SNR stays low.
+        session.ingest_batch(
+            rng.integers(0, 3, 5000), rng.integers(0, 256, 5000)
+        )
+        assert not session.should_advance(snr_threshold=50.0)
+        assert session.should_advance(
+            snr_threshold=50.0, max_round_users=5000
+        )
+        assert session.maybe_advance(snr_threshold=50.0, max_round_users=5000)
+        assert session.round == round_before + 1
+
+    def test_min_round_users_blocks_early_advance(self):
+        session = self._session()
+        session.ingest_batch(
+            np.zeros(10, dtype=np.int64), np.arange(10, dtype=np.int64)
+        )
+        assert not session.should_advance(min_round_users=100)
+
+    def test_threshold_validation_and_finished_behaviour(self):
+        session = OnlineTopKSession(
+            k=4, epsilon=2.0, n_classes=2, n_items=8,
+            rng=np.random.default_rng(10),
+        )
+        with pytest.raises(ConfigurationError):
+            session.should_advance(snr_threshold=0.0)
+        session.ingest_batch(
+            np.zeros(50, dtype=np.int64), np.arange(50, dtype=np.int64) % 8
+        )
+        while not session.finished:
+            session.advance_round()
+        assert not session.should_advance()
+        assert not session.maybe_advance()
+        with pytest.raises(ProtocolError):
+            session.round_snr()
+
+    def test_round_class_n_tracks_routed_reports_and_resets(self):
+        session = self._session(seed=11)
+        session.ingest_batch(
+            np.zeros(1000, dtype=np.int64), np.zeros(1000, dtype=np.int64)
+        )
+        assert int(session._round_class_n.sum()) == 1000
+        session.advance_round()
+        assert int(session._round_class_n.sum()) == 0

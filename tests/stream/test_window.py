@@ -1,0 +1,131 @@
+"""Sliding-window policy and drift detection for time-varying streams."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.stream import DriftDetector, WindowPolicy
+from repro.stream.window import PERIODS_PER_WINDOW
+
+
+class TestWindowPolicy:
+    def test_knobs_reproduce_the_target_window(self):
+        policy = WindowPolicy.from_window(8000)
+        decay, every = policy.knobs()
+        assert every == 8000 // PERIODS_PER_WINDOW
+        assert decay == pytest.approx(1.0 - every / 8000)
+        # The steady-state retained mass is the window, by construction.
+        assert policy.effective_size() == pytest.approx(8000)
+
+    def test_explicit_period_overrides_default(self):
+        policy = WindowPolicy.from_window(1000, decay_every=100)
+        assert policy.decay_every == 100
+        assert policy.decay == pytest.approx(0.9)
+
+    def test_tiny_windows_keep_a_valid_period(self):
+        # window // 8 would be 0 for windows below 8; the default clamps.
+        policy = WindowPolicy.from_window(5)
+        assert policy.decay_every == 1
+        assert 0.0 < policy.decay < 1.0
+
+    def test_simulated_mass_tracks_the_window(self):
+        """Iterating the geometric schedule on a counter converges to a
+        mass oscillating in (window - decay_every, window]."""
+        policy = WindowPolicy.from_window(4000)
+        decay, every = policy.knobs()
+        mass = 0.0
+        for _ in range(200):
+            mass = (mass + every) * decay
+        assert policy.window - every <= mass + every <= policy.window + 1
+
+    @pytest.mark.parametrize(
+        "window,every", [(1, None), (0, None), (100, 0), (100, 100), (100, -3)]
+    )
+    def test_invalid_configs_rejected(self, window, every):
+        with pytest.raises(ConfigurationError):
+            WindowPolicy.from_window(window, decay_every=every)
+
+
+class TestDriftDetector:
+    def test_first_update_installs_baseline(self):
+        detector = DriftDetector()
+        report = detector.update(np.zeros((2, 4)), np.ones((2, 4)))
+        assert report.score == 0.0
+        assert not report.drifted
+        assert detector.has_baseline
+
+    def test_noise_scale_movement_not_flagged(self):
+        detector = DriftDetector(threshold=4.0)
+        rng = np.random.default_rng(0)
+        base = np.full((3, 8), 100.0)
+        detector.update(base, np.full((3, 8), 25.0))
+        for _ in range(10):
+            wiggle = base + rng.normal(0.0, 5.0, size=base.shape)
+            report = detector.update(wiggle, np.full((3, 8), 25.0))
+            assert not report.drifted, report
+
+    def test_genuine_shift_flagged_with_cell_coordinates(self):
+        detector = DriftDetector(threshold=4.0)
+        base = np.full((3, 8), 100.0)
+        var = np.full((3, 8), 25.0)
+        detector.update(base, var)
+        shifted = base.copy()
+        shifted[1, 5] += 60.0  # 60 / sqrt(50) ~ 8.5 sigma
+        report = detector.update(shifted, var)
+        assert report.drifted
+        assert report.score == pytest.approx(60.0 / np.sqrt(50.0))
+        assert report.flagged == [(1, 5)]
+        assert detector.n_drift_events == 1
+
+    def test_rebaseline_on_drift_measures_further_movement(self):
+        detector = DriftDetector(threshold=4.0)
+        var = np.full((2, 2), 1.0)
+        detector.update(np.zeros((2, 2)), var)
+        shifted = np.full((2, 2), 50.0)
+        assert detector.update(shifted, var).drifted
+        # The shifted regime became the baseline: staying there is quiet.
+        follow_up = detector.update(shifted, var)
+        assert not follow_up.drifted
+        assert follow_up.score == 0.0
+
+    def test_rebaseline_opt_out_keeps_original_baseline(self):
+        detector = DriftDetector(threshold=4.0)
+        var = np.full((2, 2), 1.0)
+        detector.update(np.zeros((2, 2)), var)
+        shifted = np.full((2, 2), 50.0)
+        detector.update(shifted, var, rebaseline_on_drift=False)
+        again = detector.update(shifted, var)
+        assert again.drifted  # still measured against the original zero
+
+    def test_flag_cap_keeps_worst_cells_first(self):
+        detector = DriftDetector(threshold=1.0, max_flagged=2)
+        var = np.ones((1, 4))
+        detector.update(np.zeros((1, 4)), var)
+        report = detector.update(np.array([[3.0, 9.0, 6.0, 0.0]]), var)
+        assert report.n_flagged == 3  # three cells over the bar...
+        assert report.flagged == [(0, 1), (0, 2)]  # ...worst two carried
+
+    def test_per_check_threshold_override(self):
+        detector = DriftDetector(threshold=100.0)
+        var = np.ones((1, 2))
+        detector.update(np.zeros((1, 2)), var)
+        report = detector.update(np.array([[10.0, 0.0]]), var, threshold=2.0)
+        assert report.drifted and report.threshold == 2.0
+
+    def test_shape_mismatch_and_bad_threshold_rejected(self):
+        detector = DriftDetector()
+        detector.update(np.zeros((2, 2)), np.ones((2, 2)))
+        with pytest.raises(ConfigurationError):
+            detector.update(np.zeros((3, 3)), np.ones((3, 3)))
+        with pytest.raises(ConfigurationError):
+            detector.update(np.zeros((2, 2)), np.ones((2, 2)), threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            DriftDetector(threshold=-1.0)
+
+    def test_reset_forgets_the_baseline(self):
+        detector = DriftDetector()
+        detector.update(np.zeros((2, 2)), np.ones((2, 2)))
+        detector.reset()
+        assert not detector.has_baseline
+        report = detector.update(np.full((2, 2), 99.0), np.ones((2, 2)))
+        assert not report.drifted  # fresh baseline, no comparison

@@ -172,6 +172,42 @@ class TestCLI:
         assert main(["serve", "--executor", "process"]) == 2
         assert "--executor" in capsys.readouterr().err
 
+    def test_list_mentions_drift(self, capsys):
+        assert main(["--list"]) == 0
+        assert "drift" in capsys.readouterr().out
+
+    def test_drift_subcommand(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        artifact = tmp_path / "BENCH_drift.json"
+        monkeypatch.setenv("REPRO_BENCH_DRIFT_ARTIFACT", str(artifact))
+        assert main(["drift", "--quick", "--users", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "staleness" in out and "recall" in out
+        assert (tmp_path / "drift.txt").exists()
+        payload = json.loads(artifact.read_text())
+        assert payload["reports_per_step"] == 600
+        # Every pattern runs under both advancement configs.
+        expected = {
+            f"{pattern}:{config}"
+            for pattern in ("ramp", "flip", "burst")
+            for config in ("fixed_window", "adaptive")
+        }
+        assert set(payload["frameworks"]) == expected
+        for stats in payload["frameworks"].values():
+            assert stats["reports_per_sec"] > 0
+            assert 0.0 <= stats["staleness_mean"] <= 1.0
+            assert 0.0 <= stats["recall_mean"] <= 1.0
+        assert set(payload["cells_detail"]) == expected
+        series = payload["cells_detail"]["ramp:adaptive"]["series"]
+        assert len(series) == payload["n_steps"]
+        assert all("drift_score" in row for row in series)
+
+    def test_drift_rejects_bench_only_flags(self, capsys):
+        assert main(["drift", "--connections", "2"]) == 2
+        assert "--connections" in capsys.readouterr().err
+
     def test_serve_parser_defaults(self):
         from repro.cli import build_serve_parser
 
