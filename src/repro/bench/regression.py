@@ -82,6 +82,15 @@ def config_summary(payload: dict) -> Optional[str]:
     transport = meta.get("transport") or payload.get("transport")
     if transport:
         parts.append(f"transport={transport}")
+    tracing = meta.get("tracing")
+    if isinstance(tracing, dict) and (
+        tracing.get("enabled") or tracing.get("dropped")
+    ):
+        # Only a live tracing plane is a config difference worth flagging
+        # — artifacts predating the tracing block compare as untraced.
+        parts.append("tracing=on")
+        if tracing.get("dropped"):
+            parts.append(f"spans_dropped={tracing['dropped']}")
     return " ".join(parts) or None
 
 

@@ -23,16 +23,28 @@ def bench_meta(**extra) -> dict:
     Records where and with what the run happened (host, platform, python
     and numpy versions) plus whatever the bench adds — spawned RNG seeds
     (so the run is exactly reproducible from the JSON alone) and a
-    telemetry registry snapshot.  ``None``-valued extras are elided.
+    telemetry registry snapshot.  A ``tracing`` block always rides along
+    (enabled flag, retained and dropped span counts) so the regression
+    gate can flag a baseline-vs-fresh run whose observability configs
+    differ — tracing overhead must never masquerade as a code
+    regression.  ``None``-valued extras are elided.
     """
     import numpy
 
+    from ..obs.trace import get_tracer
+
+    tracer = get_tracer()
     meta = {
         "schema": BENCH_META_SCHEMA,
         "host": platform.node(),
         "platform": platform.platform(),
         "python": sys.version.split()[0],
         "numpy": numpy.__version__,
+        "tracing": {
+            "enabled": bool(tracer.enabled),
+            "spans": int(tracer.ring.total),
+            "dropped": int(tracer.ring.dropped),
+        },
     }
     meta.update({key: value for key, value in extra.items() if value is not None})
     return meta

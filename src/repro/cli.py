@@ -13,7 +13,9 @@ Examples::
     repro-bench serve --users 120000 --connections 8
     repro-bench drift --scale quick --seed 3
     repro-bench obs dump --format=prom   # telemetry snapshot
+    repro-bench obs trace --output trace.json   # Chrome trace export
     python -m repro fig6           # equivalent module form
+    python -m repro top 9009       # live ops console for a collector
     repro-serve --port 9009        # standalone collector
     repro-serve --metrics-port 9100 --log-json serve.jsonl
     python -m repro.serve          # equivalent module form
@@ -164,14 +166,24 @@ def build_parser() -> argparse.ArgumentParser:
 def build_obs_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-bench obs",
-        description="Inspect the telemetry plane (metrics snapshots).",
+        description=(
+            "Inspect the telemetry plane (metrics snapshots, trace rings)."
+        ),
     )
-    parser.add_argument("action", choices=("dump",), help="obs action")
+    parser.add_argument(
+        "action",
+        choices=("dump", "trace"),
+        help=(
+            "obs action: 'dump' prints a metrics snapshot, 'trace' "
+            "exports this process's span ring as Chrome trace-event JSON "
+            "(load it in Perfetto / chrome://tracing)"
+        ),
+    )
     parser.add_argument(
         "--format",
         choices=("json", "prom"),
         default="json",
-        help="output format: JSON snapshot or Prometheus text",
+        help="dump output format: JSON snapshot or Prometheus text",
     )
     parser.add_argument(
         "--input",
@@ -182,17 +194,37 @@ def build_obs_parser() -> argparse.ArgumentParser:
             "— instead of this process's live registry"
         ),
     )
+    parser.add_argument(
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="trace: write the Chrome trace JSON here instead of stdout",
+    )
     return parser
 
 
 def obs_main(argv: Sequence[str]) -> int:
-    """``repro-bench obs dump``: print a metrics snapshot as JSON or
-    Prometheus text, from a file or the live process registry."""
+    """``repro-bench obs``: print a metrics snapshot (``dump``) as JSON
+    or Prometheus text, or export the process span ring (``trace``) as
+    Chrome trace-event JSON."""
     import json
 
-    from .obs import get_registry, render_snapshot
+    from .obs import get_registry, get_tracer, render_snapshot
 
     args = build_obs_parser().parse_args(argv)
+    if args.action == "trace":
+        document = get_tracer().export_chrome()
+        if args.output is not None:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, indent=2)
+                handle.write("\n")
+            print(
+                f"wrote {len(document['traceEvents'])} trace events "
+                f"to {args.output}"
+            )
+        else:
+            print(json.dumps(document, indent=2))
+        return 0
     if args.input is not None:
         with open(args.input, encoding="utf-8") as handle:
             payload = json.load(handle)
@@ -220,6 +252,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "obs":
         return obs_main(argv[1:])
+    if argv and argv[0] == "top":
+        from .obs.console import main as top_main
+
+        return top_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.list or args.experiment is None:
         print("Available experiments:")
@@ -447,20 +483,60 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"repro-serve: collecting reports on {collector.host}:{collector.port}")
         metrics_server = None
         if args.metrics_port is not None:
-            from .obs import enable, get_registry, start_metrics_server
+            import json as _json
+
+            from .obs import (
+                enable,
+                enable_tracing,
+                get_registry,
+                get_tracer,
+                merge_snapshots,
+                render_snapshot,
+                start_metrics_server,
+            )
+            from .obs.http import JSON_CONTENT_TYPE
 
             # The engine/stream layers record into the process registry;
-            # flip it on so /metrics exposes them next to the collector's
-            # own always-exact wire counters.
+            # flip it (and the span ring) on so the ops surface exposes
+            # them next to the collector's always-exact wire counters.
             enable()
+            enable_tracing()
+
+            def render_all() -> str:
+                # Fold shard-worker snapshots (shipped back on drains,
+                # relabelled per worker/session) in with the live
+                # registries, so one scrape covers every process.
+                snapshots = [
+                    collector.metrics.snapshot(),
+                    get_registry().snapshot(),
+                ]
+                snapshots.extend(collector.registry.worker_metrics())
+                return render_snapshot(merge_snapshots(snapshots))
+
+            def healthz_route():
+                verdict = collector.health()
+                status = (
+                    "503 Service Unavailable"
+                    if verdict.get("status") == "fail"
+                    else "200 OK"
+                )
+                return status, JSON_CONTENT_TYPE, _json.dumps(verdict) + "\n"
+
+            def traces_route():
+                document = get_tracer().export_chrome()
+                return "200 OK", JSON_CONTENT_TYPE, _json.dumps(document) + "\n"
+
             metrics_server = await start_metrics_server(
                 args.host,
                 args.metrics_port,
                 (collector.metrics, get_registry()),
+                render=render_all,
+                routes={"/healthz": healthz_route, "/traces": traces_route},
             )
             print(
                 "repro-serve: metrics on "
-                f"http://{args.host}:{args.metrics_port}/metrics"
+                f"http://{args.host}:{args.metrics_port}/metrics "
+                "(+ /healthz, /traces)"
             )
         try:
             await collector.serve_forever()

@@ -1,4 +1,4 @@
-"""Unified telemetry plane: metrics, spans, structured logs, exposition.
+"""Unified telemetry plane: metrics, spans, traces, health, exposition.
 
 Dependency-free observability for the whole stack.  One process-wide
 :class:`MetricsRegistry` holds counters, gauges, and fixed-bucket
@@ -8,6 +8,18 @@ default — flip with ``REPRO_OBS=1``, :func:`enable`, or the
 histogram, :func:`log_event` emits newline-delimited JSON records, and
 the :mod:`~repro.obs.prom` / :mod:`~repro.obs.http` modules render the
 registry as Prometheus text (``repro obs dump``, ``/metrics``).
+
+Two further planes build on the same switch:
+
+* :mod:`~repro.obs.trace` — end-to-end request tracing: a
+  :class:`TraceContext` propagated client → wire → collector → shard
+  workers, completed spans in a bounded ring on the process
+  :class:`Tracer`, exported as Chrome trace-event JSON
+  (``repro-bench obs trace``, ``/traces``).
+* :mod:`~repro.obs.health` — verdicts: :func:`evaluate_health` turns
+  session ingest stats plus a registry snapshot into machine-readable
+  pass/warn/fail with reasons (``/healthz``, the HEALTH wire query, and
+  the ``repro-top`` console in :mod:`~repro.obs.console`).
 """
 
 from .log import JsonLogger, configure_logging, get_logger, log_event
@@ -25,11 +37,30 @@ from .metrics import (
     enabled,
     get_registry,
     merge_snapshots,
+    relabel_snapshot,
     series_key,
     span,
 )
 from .prom import render, render_snapshot, write_snapshot
-from .http import start_metrics_server
+from .http import start_http_server, start_metrics_server
+from .health import (
+    HEALTH_SCHEMA,
+    HealthMonitor,
+    HealthPolicy,
+    evaluate_health,
+    histogram_quantile,
+)
+from .trace import (
+    SpanRing,
+    TraceContext,
+    Tracer,
+    chrome_trace,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    trace_span,
+    tracing_enabled,
+)
 
 __all__ = [
     "SNAPSHOT_SCHEMA",
@@ -47,10 +78,26 @@ __all__ = [
     "enabled",
     "span",
     "merge_snapshots",
+    "relabel_snapshot",
     "render",
     "render_snapshot",
     "write_snapshot",
+    "start_http_server",
     "start_metrics_server",
+    "HEALTH_SCHEMA",
+    "HealthPolicy",
+    "HealthMonitor",
+    "evaluate_health",
+    "histogram_quantile",
+    "TraceContext",
+    "Tracer",
+    "SpanRing",
+    "chrome_trace",
+    "get_tracer",
+    "enable_tracing",
+    "disable_tracing",
+    "trace_span",
+    "tracing_enabled",
     "JsonLogger",
     "get_logger",
     "configure_logging",

@@ -1,0 +1,224 @@
+"""``repro-top`` — a live ops console for a running collector.
+
+Polls the collector's STATS wire frame and HEALTH verdict on an
+interval and renders one dashboard screen per sample: collector-level
+frame counters, per-session throughput (derived from successive
+``n_accepted`` samples), ingest lag, ring occupancy, query-cache hit
+rate, and the health checks with their reasons.  Pure stdlib — ANSI
+escapes for colour and screen clearing, no curses, no dependencies —
+so it runs anywhere the client does::
+
+    python -m repro top 9000
+    python -m repro top 9000 --once --no-color   # one plain sample
+
+Rendering is a pure function (:func:`render_dashboard`) over the two
+polled payloads, so tests drive it with fabricated samples; the poll
+loop (:func:`run_top`) owns only timing, screen clearing, and the
+previous-sample state that turns counters into rates.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import time
+from typing import Optional
+
+_CLEAR = "\x1b[2J\x1b[H"
+_RESET = "\x1b[0m"
+_COLORS = {"pass": "\x1b[32m", "warn": "\x1b[33m", "fail": "\x1b[31m"}
+
+
+def _paint(text: str, verdict: str, color: bool) -> str:
+    if not color:
+        return text
+    return f"{_COLORS.get(verdict, '')}{text}{_RESET}"
+
+
+def _ratio(numerator: float, denominator: float) -> Optional[float]:
+    if denominator <= 0:
+        return None
+    return numerator / denominator
+
+
+def _percent(value: Optional[float]) -> str:
+    return "-" if value is None else f"{100.0 * value:.0f}%"
+
+
+def _session_series(snapshot: dict, family: str, section: str) -> dict:
+    """``session label -> value`` for one per-session metric family."""
+    out = {}
+    prefix = f'{family}{{session="'
+    for key, value in snapshot.get(section, {}).items():
+        if key.startswith(prefix):
+            out[key[len(prefix):-2]] = value
+    return out
+
+
+def render_dashboard(
+    stats: dict,
+    health: dict,
+    rates: Optional[dict] = None,
+    color: bool = True,
+    now: Optional[float] = None,
+) -> str:
+    """One dashboard screen for a STATS payload and a HEALTH verdict.
+
+    ``rates`` maps session id to a reports/second figure the caller
+    derived from successive samples (``None`` renders ``-``).
+    """
+    rates = rates or {}
+    collector = stats.get("collector", {})
+    sessions = stats.get("sessions", [])
+    snapshot = stats.get("metrics", {})
+    status = health.get("status", "pass")
+    checks = health.get("checks", [])
+
+    stamp = time.strftime(
+        "%H:%M:%S", time.localtime(time.time() if now is None else now)
+    )
+    lines = [
+        (
+            f"repro-top  {collector.get('host', '?')}:"
+            f"{collector.get('port', '?')}  {stamp}   health: "
+            + _paint(status.upper(), status, color)
+            + f"   sessions: {len(sessions)}"
+            f"   connections: {collector.get('connections_active', 0)}"
+        ),
+        (
+            f"  ingested {collector.get('reports_ingested', 0):,}"
+            f"   frames "
+            + " ".join(
+                f"{name}:{count}"
+                for name, count in sorted(
+                    collector.get("frames", {}).items()
+                )
+            )
+            + f"   rejected {collector.get('frames_rejected', 0)}"
+        ),
+        "",
+        (
+            f"  {'SESSION':<16} {'KIND':<10} {'ACCEPTED':>12} {'PENDING':>9} "
+            f"{'RATE/S':>10} {'RING':>6} {'CACHE':>6} {'STALL':>7}"
+        ),
+    ]
+    occupancy = _session_series(snapshot, "serve_ring_occupancy", "gauges")
+    capacity = _session_series(snapshot, "serve_ring_capacity", "gauges")
+    hits = _session_series(
+        snapshot, "serve_query_cache_hits_total", "counters"
+    )
+    misses = _session_series(
+        snapshot, "serve_query_cache_misses_total", "counters"
+    )
+    for session in sessions:
+        sid = str(session.get("session", "?"))
+        rate = rates.get(sid)
+        ring = _ratio(occupancy.get(sid, 0), capacity.get(sid, 0))
+        lookups = hits.get(sid, 0) + misses.get(sid, 0)
+        cache = _ratio(hits.get(sid, 0), lookups)
+        stalled = session.get("stalled", False)
+        stall = f"{session.get('stall_seconds', 0.0):.1f}s"
+        if stalled:
+            stall = _paint(stall + "!", "fail", color)
+        lines.append(
+            f"  {sid:<16.16} {str(session.get('kind', '?')):<10} "
+            f"{session.get('n_accepted', 0):>12,} "
+            f"{session.get('pending', 0):>9,} "
+            f"{'-' if rate is None else format(rate, ',.0f'):>10} "
+            f"{_percent(ring):>6} {_percent(cache):>6} {stall:>7}"
+        )
+    if not sessions:
+        lines.append("  (no sessions yet)")
+    lines.append("")
+    lines.append("  checks:")
+    for check in checks:
+        verdict = check.get("status", "pass")
+        scope = f" {check['session']}" if "session" in check else ""
+        lines.append(
+            "    "
+            + _paint(f"[{verdict}]", verdict, color)
+            + f" {check.get('check', '?')}{scope}: {check.get('reason', '')}"
+        )
+    if not checks:
+        lines.append("    (none)")
+    return "\n".join(lines) + "\n"
+
+
+async def sample(host: str, port: int) -> tuple[dict, dict]:
+    """One (stats, health) poll of a running collector."""
+    from ..serve import fetch_health, fetch_stats  # lazy: obs stays below serve
+
+    return (
+        await fetch_stats(host, port),
+        await fetch_health(host, port),
+    )
+
+
+async def run_top(
+    host: str,
+    port: int,
+    interval: float = 1.0,
+    iterations: Optional[int] = None,
+    color: bool = True,
+    clear: bool = True,
+) -> None:
+    """The poll-render loop; ``iterations=None`` runs until interrupted."""
+    previous: dict[str, tuple[float, int]] = {}
+    count = 0
+    while iterations is None or count < iterations:
+        stats, health = await sample(host, port)
+        clock = time.perf_counter()
+        rates: dict[str, float] = {}
+        for session in stats.get("sessions", []):
+            sid = str(session.get("session", "?"))
+            accepted = int(session.get("n_accepted", 0))
+            seen = previous.get(sid)
+            if seen is not None and clock > seen[0]:
+                rates[sid] = (accepted - seen[1]) / (clock - seen[0])
+            previous[sid] = (clock, accepted)
+        screen = render_dashboard(stats, health, rates=rates, color=color)
+        print((_CLEAR if clear else "") + screen, end="", flush=True)
+        count += 1
+        if iterations is not None and count >= iterations:
+            return
+        await asyncio.sleep(interval)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description="Live ops console for a running repro-serve collector.",
+    )
+    parser.add_argument("port", type=int, help="collector wire port")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--interval", type=float, default=1.0, help="seconds between samples"
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="print one sample and exit"
+    )
+    parser.add_argument(
+        "--no-color", action="store_true", help="plain text (no ANSI colour)"
+    )
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(
+            run_top(
+                args.host,
+                args.port,
+                interval=args.interval,
+                iterations=1 if args.once else None,
+                color=not args.no_color,
+                clear=not args.once,
+            )
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    except (ConnectionError, OSError) as error:
+        print(f"repro-top: cannot reach {args.host}:{args.port} ({error})")
+        return 1
+    return 0

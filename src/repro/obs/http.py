@@ -1,23 +1,43 @@
-"""A tiny asyncio HTTP handler exposing ``/metrics``.
+"""A tiny asyncio HTTP server for the observability surfaces.
 
-``repro-serve --metrics-port`` mounts this next to the report collector:
-one ``asyncio.start_server`` loop that answers ``GET /metrics`` with the
-Prometheus text exposition of the supplied registries and closes the
-connection.  It speaks just enough HTTP/1.0 for ``curl`` and a
-Prometheus scraper — request line plus headers in, fixed response out —
-and deliberately nothing more (no keep-alive, no chunking, no routing
-table), so the serving path stays dependency-free.
+``repro-serve`` mounts this next to the report collector: one
+``asyncio.start_server`` loop answering ``GET`` requests off a small
+route table — ``/metrics`` (Prometheus text), ``/healthz``
+(machine-readable pass/warn/fail), ``/traces`` (Chrome trace-event
+JSON).  It speaks just enough HTTP/1.0 for ``curl``, a Prometheus
+scraper, and a load-balancer probe — request line plus headers in, one
+fixed response out, connection closed — and deliberately nothing more
+(no keep-alive, no chunking, no TLS), so the serving path stays
+dependency-free.
+
+Malformed input gets an explicit status, never a silent close: a bad
+request line is ``400``, an oversized request is ``413``, an unknown
+path ``404``, a non-GET method ``405``, and a route handler that raises
+is ``500`` — probes and scrapers see a diagnosable response either way.
+
+Routes are callables returning ``(status, content_type, body)``; sync or
+async both work.  :func:`start_metrics_server` builds the conventional
+table from registries (plus any extra routes the caller mounts).
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, Iterable, Optional
+import inspect
+from typing import Awaitable, Callable, Iterable, Mapping, Optional, Union
 
 from . import prom
 from .metrics import MetricsRegistry
 
 _MAX_REQUEST_BYTES = 8192
+
+#: A route handler: () -> (status, content_type, body), sync or async.
+RouteResult = tuple[str, str, str]
+Route = Callable[[], Union[RouteResult, Awaitable[RouteResult]]]
+
+#: Content types of the standard surfaces.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
 
 
 def _response(status: str, body: str, content_type: str = "text/plain") -> bytes:
@@ -32,18 +52,27 @@ def _response(status: str, body: str, content_type: str = "text/plain") -> bytes
     return head.encode("ascii") + payload
 
 
+async def _read_request(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """The raw request head, or ``None`` when it exceeds the size cap."""
+    try:
+        return await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        return exc.partial
+    except asyncio.LimitOverrunError:
+        return None
+
+
 async def _handle(
     reader: asyncio.StreamReader,
     writer: asyncio.StreamWriter,
-    render: Callable[[], str],
+    routes: Mapping[str, Route],
 ) -> None:
     try:
-        try:
-            request = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            request = exc.partial
-        except asyncio.LimitOverrunError:
-            writer.write(_response("431 Request Header Fields Too Large", ""))
+        request = await _read_request(reader)
+        if request is None or len(request) > _MAX_REQUEST_BYTES:
+            writer.write(
+                _response("413 Request Entity Too Large", "request too large\n")
+            )
             return
         line = request.split(b"\r\n", 1)[0].decode("latin-1", "replace")
         parts = line.split()
@@ -53,23 +82,54 @@ async def _handle(
         method, path = parts[0], parts[1].split("?", 1)[0]
         if method != "GET":
             writer.write(_response("405 Method Not Allowed", "GET only\n"))
-        elif path == "/metrics":
+            return
+        route = routes.get(path)
+        if route is None:
+            known = " ".join(sorted(routes))
+            writer.write(_response("404 Not Found", f"try one of: {known}\n"))
+            return
+        try:
+            result = route()
+            if inspect.isawaitable(result):
+                result = await result
+            status, content_type, body = result
+        except Exception as error:  # noqa: BLE001 - a broken route must
+            # answer, not drop the probe on the floor
             writer.write(
                 _response(
-                    "200 OK",
-                    render(),
-                    content_type="text/plain; version=0.0.4; charset=utf-8",
+                    "500 Internal Server Error",
+                    f"{type(error).__name__}: {error}\n",
                 )
             )
-        else:
-            writer.write(_response("404 Not Found", "try /metrics\n"))
-        await writer.drain()
+            return
+        writer.write(_response(status, body, content_type=content_type))
     finally:
+        try:
+            await writer.drain()
+        except (ConnectionError, OSError):  # pragma: no cover - peer gone
+            pass
         writer.close()
         try:
             await writer.wait_closed()
         except (ConnectionError, OSError):  # pragma: no cover - teardown race
             pass
+
+
+async def start_http_server(
+    host: str, port: int, routes: Mapping[str, Route]
+) -> asyncio.AbstractServer:
+    """Serve ``routes`` on ``host:port``; the caller owns the server's
+    lifetime (``server.close()`` / ``await server.wait_closed()``)."""
+    routes = dict(routes)
+
+    async def handler(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle(reader, writer, routes)
+
+    return await asyncio.start_server(
+        handler, host, port, limit=_MAX_REQUEST_BYTES
+    )
 
 
 async def start_metrics_server(
@@ -78,23 +138,24 @@ async def start_metrics_server(
     registries: Iterable[MetricsRegistry],
     *,
     render: Optional[Callable[[], str]] = None,
+    routes: Optional[Mapping[str, Route]] = None,
 ) -> asyncio.AbstractServer:
     """Serve ``GET /metrics`` for ``registries`` on ``host:port``.
 
-    Returns the listening :class:`asyncio.AbstractServer`; the caller
-    owns its lifetime (``server.close()`` / ``await server.wait_closed()``).
     ``render`` overrides the default merged-registry Prometheus renderer
-    (used by tests and by callers that add derived series).
+    (used by tests and by callers that add derived series); ``routes``
+    mounts additional paths next to ``/metrics`` (``repro-serve`` adds
+    ``/healthz`` and ``/traces`` this way).  Returns the listening
+    server; the caller owns its lifetime.
     """
     registries = tuple(registries)
     if render is None:
         render = lambda: prom.render(*registries)  # noqa: E731
 
-    async def handler(
-        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        await _handle(reader, writer, render)
+    def metrics_route() -> RouteResult:
+        return "200 OK", PROMETHEUS_CONTENT_TYPE, render()
 
-    return await asyncio.start_server(
-        handler, host, port, limit=_MAX_REQUEST_BYTES
-    )
+    table: dict[str, Route] = {"/metrics": metrics_route}
+    if routes:
+        table.update(routes)
+    return await start_http_server(host, port, table)

@@ -44,7 +44,7 @@ Run a standalone collector with ``repro-serve`` (``python -m
 repro.serve``) and benchmark throughput with ``repro-bench serve``.
 """
 
-from .client import ReportClient, fetch_stats, generate_load
+from .client import ReportClient, fetch_health, fetch_stats, generate_load
 from .collector import ReportCollector
 from .protocol import FrameReader, ReportsEncoder, ServeError, WireError
 from .registry import HostedSession, SessionRegistry, canonical_config
@@ -62,6 +62,7 @@ __all__ = [
     "SessionRegistry",
     "WireError",
     "canonical_config",
+    "fetch_health",
     "fetch_stats",
     "generate_load",
 ]

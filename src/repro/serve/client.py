@@ -18,6 +18,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs import trace as _trace
 from ..obs.metrics import span as obs_span
 from . import protocol
 from .protocol import ServeError
@@ -46,6 +47,11 @@ class ReportClient:
         self.session_id = config["session"]
         #: The collector's handshake reply (``created`` flag, kind).
         self.hello = hello
+        #: The connection's root trace context — set when tracing was
+        #: live at :meth:`connect` time, announced to the collector on
+        #: the HELLO so server-side flush/drain/shard spans share its
+        #: trace id.  ``None`` keeps every client path span-free.
+        self.trace: Optional[_trace.TraceContext] = None
         self._closed = False
 
     @classmethod
@@ -56,16 +62,32 @@ class ReportClient:
         ``kind="topk"``, ``epsilon``, ``n_classes``, ``n_items``, optional
         ``mode`` / ``seed`` / ``shards`` / decay knobs or a sliding
         ``window``); ``None`` values are elided so server defaults apply.
+
+        When tracing is enabled (``REPRO_OBS=1`` or
+        :func:`repro.obs.enable_tracing`) the connection mints a root
+        :class:`~repro.obs.trace.TraceContext` and announces it in the
+        HELLO's advisory ``trace`` field; the collector links its
+        ingest, flush, and shard-worker spans under the same trace id.
         """
+        ctx = (
+            _trace.TraceContext.root()
+            if _trace.get_tracer().enabled
+            else None
+        )
+        hello = dict(config)
+        if ctx is not None:
+            hello["trace"] = ctx.to_wire()
         reader, writer = await asyncio.open_connection(host, port)
         try:
             reply = await protocol.request(
-                reader, writer, protocol.hello_frame(config)
+                reader, writer, protocol.hello_frame(hello)
             )
         except BaseException:
             writer.close()
             raise
-        return cls(reader, writer, config, reply["result"])
+        client = cls(reader, writer, config, reply["result"])
+        client.trace = ctx
+        return client
 
     # ------------------------------------------------------------------
     # streaming
@@ -82,9 +104,16 @@ class ReportClient:
         and conversion copy entirely.
         """
         labels, items = protocol.as_report_columns(labels, items)
-        for payload in self._encoder.pack(labels, items, chunk_size):
-            self._writer.write(payload)
-            await self._writer.drain()
+        with _trace.get_tracer().span(
+            "client.send",
+            self.trace,
+            cat="client",
+            session=self.session_id,
+            reports=int(labels.size),
+        ):
+            for payload in self._encoder.pack(labels, items, chunk_size):
+                self._writer.write(payload)
+                await self._writer.drain()
         return int(labels.size)
 
     async def send_one(self, label: int, item: int) -> None:
@@ -95,10 +124,25 @@ class ReportClient:
     # control channel
     # ------------------------------------------------------------------
     async def query(self, query: str, **params):
-        """Raw control query; returns the reply's ``result`` field."""
-        reply = await protocol.request(
-            self._reader, self._writer, protocol.query_frame(query, **params)
+        """Raw control query; returns the reply's ``result`` field.
+
+        On a traced connection the query frame carries a child trace
+        annotation and the round-trip records a ``client.query`` span,
+        so server-side query spans parent under this request.
+        """
+        span = _trace.get_tracer().span(
+            "client.query",
+            self.trace,
+            cat="client",
+            session=self.session_id,
+            query=query,
         )
+        with span:
+            if span.ctx is not None:
+                params = dict(params, trace=span.ctx.to_wire())
+            reply = await protocol.request(
+                self._reader, self._writer, protocol.query_frame(query, **params)
+            )
         return reply["result"]
 
     async def estimate(self) -> np.ndarray:
@@ -125,6 +169,17 @@ class ReportClient:
         """
         reply = await protocol.request(
             self._reader, self._writer, protocol.stats_frame()
+        )
+        return reply["result"]
+
+    async def health(self) -> dict:
+        """Poll the collector's health verdict (the HEALTH wire frame).
+
+        Machine-readable ``{"status": "pass"|"warn"|"fail", "checks":
+        [...]}`` — the same payload the ``/healthz`` HTTP route serves.
+        """
+        reply = await protocol.request(
+            self._reader, self._writer, protocol.health_frame()
         )
         return reply["result"]
 
@@ -247,6 +302,27 @@ async def fetch_stats(host: str, port: int) -> dict:
     try:
         reply = await protocol.request(
             reader, writer, protocol.stats_frame()
+        )
+        return reply["result"]
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):  # pragma: no cover - teardown race
+            pass
+
+
+async def fetch_health(host: str, port: int) -> dict:
+    """One-shot health probe of a running collector.
+
+    Sends a bare HEALTH frame (answered pre-HELLO, like STATS) and
+    returns the verdict payload — what a load balancer or ``repro-top``
+    polls without joining any session.
+    """
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        reply = await protocol.request(
+            reader, writer, protocol.health_frame()
         )
         return reply["result"]
     finally:

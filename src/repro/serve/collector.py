@@ -32,6 +32,8 @@ import asyncio
 from typing import Optional
 
 from ..exceptions import ReproError
+from ..obs import trace as _trace
+from ..obs.health import HealthMonitor, HealthPolicy
 from ..obs.log import log_event
 from ..obs.metrics import MetricsRegistry
 from . import protocol
@@ -82,6 +84,7 @@ class ReportCollector:
         metrics: Optional[MetricsRegistry] = None,
         executor: str = "thread",
         transport: Optional[str] = None,
+        health_policy: Optional[HealthPolicy] = None,
     ) -> None:
         if flush_interval <= 0:
             raise ServeError(
@@ -116,6 +119,7 @@ class ReportCollector:
         self._server: Optional[asyncio.AbstractServer] = None
         self._flusher: Optional[asyncio.Task] = None
         self._next_connection_id = 0
+        self._health = HealthMonitor(policy=health_policy)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -236,16 +240,29 @@ class ReportCollector:
         frames = protocol.FrameReader(reader, coalesce=self.coalesce_frames)
         while True:
             frame_type, body = await self._read_frame(frames)
-            if frame_type != protocol.STATS:
-                break
             # Monitors may poll a running collector without joining a
-            # session: STATS is answerable before the HELLO handshake.
-            writer.write(protocol.reply_frame(self.stats()))
+            # session: STATS and HEALTH are answerable pre-HELLO.
+            if frame_type == protocol.STATS:
+                writer.write(protocol.reply_frame(self.stats()))
+            elif frame_type == protocol.HEALTH:
+                writer.write(protocol.reply_frame(self.health()))
+            else:
+                break
             await writer.drain()
         if frame_type != protocol.HELLO:
             raise WireError("connection must open with a HELLO frame")
+        hello = protocol.decode_json(body)
+        # The advisory trace announcement rides outside the canonical
+        # session config: pop it before the config equality check, keep
+        # it as this connection's context only while tracing is live
+        # (malformed or absent degrades to untraced, never to an error).
+        ctx = None
+        if isinstance(hello, dict) and "trace" in hello:
+            announced = _trace.TraceContext.from_wire(hello.pop("trace"))
+            if _trace.get_tracer().enabled:
+                ctx = announced
         try:
-            hosted, created = self.registry.open(protocol.decode_json(body))
+            hosted, created = self.registry.open(hello)
         except ReproError as error:
             await self._try_reply(writer, protocol.error_frame(error))
             return
@@ -274,7 +291,19 @@ class ReportCollector:
         while True:
             frame_type, body = await self._read_batch(frames, m_reports)
             if frame_type == protocol.REPORTS:
-                n = hosted.buffer_frames(body)
+                if ctx is None:
+                    n = hosted.buffer_frames(body)
+                else:
+                    # Traced connection: one ingest span per coalesced
+                    # run, whose child context the next flush parents on.
+                    with _trace.get_tracer().span(
+                        "collector.ingest",
+                        ctx,
+                        cat="serve",
+                        session=hosted.session_id,
+                        frames=len(body),
+                    ) as ingest_span:
+                        n = hosted.buffer_frames(body, trace=ingest_span.ctx)
                 # The views alias the reader's buffer: release them before
                 # the next read so the buffer can compact in place.
                 del body
@@ -285,16 +314,33 @@ class ReportCollector:
             elif frame_type == protocol.STATS:
                 writer.write(protocol.reply_frame(self.stats()))
                 await writer.drain()
+            elif frame_type == protocol.HEALTH:
+                writer.write(protocol.reply_frame(self.health()))
+                await writer.drain()
             elif frame_type == protocol.QUERY:
                 spec = protocol.decode_json(body)
-                try:
-                    result = await hosted.query(spec)
-                except Exception as error:  # noqa: BLE001
-                    # Recoverable (e.g. estimate() before any data, or a
-                    # malformed parameter): report, keep the connection.
-                    writer.write(protocol.error_frame(error))
-                else:
-                    writer.write(protocol.reply_frame(result))
+                query_ctx = ctx
+                if isinstance(spec, dict) and "trace" in spec:
+                    # Popped unconditionally: the trace annotation must
+                    # never reach the per-epoch query cache key.
+                    announced = _trace.TraceContext.from_wire(spec.pop("trace"))
+                    if announced is not None and _trace.get_tracer().enabled:
+                        query_ctx = announced
+                with _trace.get_tracer().span(
+                    "collector.query",
+                    query_ctx,
+                    cat="serve",
+                    session=hosted.session_id,
+                ):
+                    try:
+                        result = await hosted.query(spec)
+                    except Exception as error:  # noqa: BLE001
+                        # Recoverable (e.g. estimate() before any data, or
+                        # a malformed parameter): report, keep the
+                        # connection.
+                        writer.write(protocol.error_frame(error))
+                    else:
+                        writer.write(protocol.reply_frame(result))
                 await writer.drain()
             elif frame_type == protocol.BYE:
                 await hosted.settle()
@@ -341,6 +387,19 @@ class ReportCollector:
             ],
             "metrics": snapshot,
         }
+
+    def health(self) -> dict:
+        """The verdict payload behind ``/healthz`` and the HEALTH frame.
+
+        Feeds the live per-session ingest stats and the collector's
+        metrics snapshot through the stateful
+        :class:`~repro.obs.health.HealthMonitor`; loop-thread only and
+        never drains, so probes stay cheap under load.
+        """
+        return self._health.evaluate(
+            [hosted.ingest_stats() for hosted in self.registry.sessions()],
+            self.metrics.snapshot(),
+        )
 
     async def _try_reply(self, writer, frame: bytes) -> None:
         try:

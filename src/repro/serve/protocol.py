@@ -6,12 +6,25 @@ Every message on a collector connection is one *frame*::
 
     HELLO   (0x01)  JSON session config — framework/top-k kind, epsilon,
                     domain sizes, execution mode, optional seed/shards/
-                    decay; opens or joins the named session.
+                    decay; opens or joins the named session.  May carry
+                    an optional ``"trace"`` object (``{"trace_id": hex,
+                    "span_id": hex}``, see
+                    :class:`repro.obs.trace.TraceContext`) naming the
+                    client-side trace this connection's work belongs to;
+                    the collector parents its decode/flush/drain spans
+                    on it.  The field is advisory: a collector without
+                    tracing ignores it, a malformed value degrades to an
+                    untraced connection, and it never affects the
+                    estimates.
     REPORTS (0x02)  u32_be count | count x (i32_le label, i32_le item) —
-                    the per-user reports, packed columnar-ready.
+                    the per-user reports, packed columnar-ready.  No
+                    per-frame trace field: REPORTS inherit the
+                    connection's HELLO trace context.
     QUERY   (0x03)  JSON ``{"query": "estimate" | "topk" | "class_sizes"
                     | "stats" | "advance_round", ...params}`` — the
-                    control channel, answerable mid-stream.
+                    control channel, answerable mid-stream.  Accepts the
+                    same optional ``"trace"`` object as HELLO to
+                    attribute this one query's server-side span.
     REPLY   (0x04)  JSON ``{"ok": true, "result": ...}`` (arrays as
                     nested lists).
     ERROR   (0x05)  JSON ``{"ok": false, "error": msg, "kind": cls}``.
@@ -23,6 +36,12 @@ Every message on a collector connection is one *frame*::
                     registry snapshot.  Accepted before the HELLO
                     handshake, so a monitor can poll a running collector
                     without joining a session.
+    HEALTH  (0x08)  empty body; the collector replies with its health
+                    verdict (machine-readable pass/warn/fail with
+                    per-check reasons, see
+                    :func:`repro.obs.health.evaluate_health`).  Like
+                    STATS it is accepted before the HELLO handshake, so
+                    probes need no session.
 
 The codec is symmetric — client and collector share these helpers — and
 pure plain-data (struct + JSON + fixed-width integer arrays, no
@@ -50,8 +69,11 @@ REPLY = 0x04
 ERROR = 0x05
 BYE = 0x06
 STATS = 0x07
+HEALTH = 0x08
 
-_FRAME_TYPES = frozenset((HELLO, REPORTS, QUERY, REPLY, ERROR, BYE, STATS))
+_FRAME_TYPES = frozenset(
+    (HELLO, REPORTS, QUERY, REPLY, ERROR, BYE, STATS, HEALTH)
+)
 
 #: Human-readable frame names (telemetry labels, log records).
 FRAME_NAMES = {
@@ -62,6 +84,7 @@ FRAME_NAMES = {
     ERROR: "error",
     BYE: "bye",
     STATS: "stats",
+    HEALTH: "health",
 }
 
 #: Hard cap on one frame's payload (type byte + body).
@@ -468,6 +491,11 @@ def bye_frame() -> bytes:
 def stats_frame() -> bytes:
     """The telemetry poll frame (empty body; answered with a REPLY)."""
     return encode_frame(STATS)
+
+
+def health_frame() -> bytes:
+    """The health probe frame (empty body; answered with a REPLY)."""
+    return encode_frame(HEALTH)
 
 
 def chunk_spans(n: int, chunk_size: Optional[int] = None):

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from functools import partial
 from typing import Optional
 
@@ -42,8 +43,10 @@ import numpy as np
 
 from ..exceptions import DomainError
 from ..mechanisms.engine import batch_spans
+from ..obs import trace as _trace
 from ..obs.log import log_event
 from ..obs.metrics import DEFAULT_COUNT_BUCKETS, MetricsRegistry, Span
+from ..obs.metrics import relabel_snapshot
 from ..rng import ensure_rng, spawn
 from ..stream import (
     AggregatorDrain,
@@ -287,6 +290,19 @@ class HostedSession:
         self._lock = asyncio.Lock()
         self._resume = asyncio.Event()
         self._resume.set()
+        # Trace context of the most recent traced ingest: the next flush
+        # parents its span (and the shard spans below it) here, linking
+        # client → collector → shard in one trace.  ``None`` (tracing
+        # off or untraced clients) keeps the flush path span-free.
+        self._ingest_ctx: Optional[_trace.TraceContext] = None
+        # Backpressure stall accounting (loop thread only): how many
+        # waiters are currently paused, when the ongoing stall began
+        # (epoch seconds, ``None`` when writable), and the accumulated
+        # stalled wall-clock across completed stalls.
+        self._stall_waiters = 0
+        self._stall_clock = 0.0
+        self._stall_started: Optional[float] = None
+        self._stall_seconds = 0.0
         # Hosted sessions live in the event-loop process only (never
         # pickled), so caching instruments here is safe and keeps the
         # REPORTS hot path at one attribute check.
@@ -344,6 +360,20 @@ class HostedSession:
         return self._buffered + self._inflight
 
     @property
+    def stalled(self) -> bool:
+        """Whether at least one connection is paused on backpressure."""
+        return self._stall_waiters > 0
+
+    @property
+    def stall_seconds(self) -> float:
+        """Total wall-clock this session has spent above the high-water
+        mark (completed stalls plus the ongoing one, if any)."""
+        total = self._stall_seconds
+        if self._stall_waiters:
+            total += time.perf_counter() - self._stall_clock
+        return total
+
+    @property
     def drain_log(self):
         return self._drain.drain_log
 
@@ -364,13 +394,20 @@ class HostedSession:
             self._m_occupancy.set(len(self._ring))
         return n
 
-    def buffer_frames(self, bodies: list) -> int:
+    def buffer_frames(
+        self, bodies: list, trace: Optional[_trace.TraceContext] = None
+    ) -> int:
         """Accept a run of coalesced REPORTS frame bodies in one pass.
 
         Each body is a zero-copy view over the connection's socket
         buffer; columns decode as strided ``int32`` views and write in
         place into the ring — no per-frame ndarray materialises.
+        ``trace`` (the connection's context, when the client announced
+        one and tracing is live) becomes the parent of the next flush
+        span; it is one attribute store on the hot path.
         """
+        if trace is not None:
+            self._ingest_ctx = trace
         if self._metrics is not None:
             with Span(self._m_decode):
                 total = self._buffer_frames(bodies)
@@ -425,13 +462,27 @@ class HostedSession:
             self._m_flush.observe(flushed)
             self._m_occupancy.set(len(self._ring))
         loop = asyncio.get_running_loop()
-        for span in batch_spans(flushed, 1, self.flush_reports):
-            chunk_labels, chunk_items = labels[span], items[span]
-            self._inflight += int(chunk_labels.size)
-            future = self._drain.submit(chunk_labels, chunk_items)
-            future.add_done_callback(
-                partial(self._on_drained, loop, int(chunk_labels.size))
-            )
+        # A no-op span (ctx None) unless tracing is live and a traced
+        # client fed this session; otherwise the flush records itself
+        # under the last ingest's trace and hands its child context to
+        # the drain submits, so shard spans nest below it.
+        flush_span = _trace.get_tracer().span(
+            "collector.flush",
+            self._ingest_ctx,
+            cat="serve",
+            session=self.session_id,
+            reports=flushed,
+        )
+        with flush_span:
+            for span in batch_spans(flushed, 1, self.flush_reports):
+                chunk_labels, chunk_items = labels[span], items[span]
+                self._inflight += int(chunk_labels.size)
+                future = self._drain.submit(
+                    chunk_labels, chunk_items, trace=flush_span.ctx
+                )
+                future.add_done_callback(
+                    partial(self._on_drained, loop, int(chunk_labels.size))
+                )
         return flushed
 
     def try_flush(self, only_full: bool = False) -> int:
@@ -468,6 +519,10 @@ class HostedSession:
         while self.pending > self.high_water:
             if not paused:
                 paused = True
+                self._stall_waiters += 1
+                if self._stall_waiters == 1:
+                    self._stall_clock = time.perf_counter()
+                    self._stall_started = time.time()
                 if self._metrics is not None:
                     self._m_pause.inc()
                 log_event(
@@ -479,6 +534,10 @@ class HostedSession:
             self._resume.clear()
             await self._resume.wait()
         if paused:
+            self._stall_waiters -= 1
+            if self._stall_waiters == 0:
+                self._stall_seconds += time.perf_counter() - self._stall_clock
+                self._stall_started = None
             if self._metrics is not None:
                 self._m_resume.inc()
             log_event(
@@ -706,7 +765,20 @@ class HostedSession:
             "pending": int(self.pending),
             "n_submitted": int(self._drain.n_submitted),
             "n_drained": int(self._drain.n_drained),
+            "high_water": int(self.high_water),
+            "stalled": self.stalled,
+            "stall_seconds": float(self.stall_seconds),
         }
+
+    def worker_metrics(self) -> list[dict]:
+        """Metrics snapshots shipped back from this session's shard
+        worker processes, relabelled with the session id (on top of the
+        aggregator's per-shard ``worker`` label) so two sessions' workers
+        never collide when merged into one exposition."""
+        return [
+            relabel_snapshot(snapshot, session=self.session_id)
+            for snapshot in self._drain.worker_metrics()
+        ]
 
     def close(self) -> None:
         self._drain.close()
@@ -792,6 +864,14 @@ class SessionRegistry:
 
     def sessions(self) -> list[HostedSession]:
         return list(self._sessions.values())
+
+    def worker_metrics(self) -> list[dict]:
+        """Every hosted session's shard-worker metrics snapshots (see
+        :meth:`HostedSession.worker_metrics`)."""
+        snapshots: list[dict] = []
+        for hosted in self.sessions():
+            snapshots.extend(hosted.worker_metrics())
+        return snapshots
 
     async def settle_all(self) -> None:
         for hosted in self.sessions():

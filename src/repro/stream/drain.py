@@ -46,6 +46,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError
 from ..obs import metrics as _obs
+from ..obs import trace as _trace
 from .window import WindowPolicy
 
 #: Shard slot of a decay event in the drain log.
@@ -112,7 +113,11 @@ class BatchDrain:
                 "drain_reports_total", adapter=type(self).__name__
             ).inc(int(drained))
 
-    def submit(self, labels, items) -> Future:
+    def submit(self, labels, items, trace=None) -> Future:
+        """Queue one batch.  ``trace`` (a
+        :class:`~repro.obs.trace.TraceContext`, default ``None``) rides
+        along to the aggregation layer so shard ingest spans parent on
+        the submitting request; it never affects the estimate path."""
         raise NotImplementedError
 
     def drain(self) -> int:
@@ -121,6 +126,12 @@ class BatchDrain:
     def snapshot(self):
         """Queryable state covering everything drained so far."""
         raise NotImplementedError
+
+    def worker_metrics(self) -> list[dict]:
+        """Metrics snapshots from any worker processes behind this
+        adapter (see :meth:`ShardedAggregator.worker_metrics`); empty
+        for in-process targets."""
+        return []
 
     def close(self) -> None:
         raise NotImplementedError
@@ -215,13 +226,13 @@ class AggregatorDrain(BatchDrain):
     def _decay_targets(self):
         return self._aggregator.partials()
 
-    def submit(self, labels, items) -> Future:
+    def submit(self, labels, items, trace=None) -> Future:
         labels, items = _as_batch(labels, items)
         shard = self._next % self._aggregator.n_shards
         self._next += 1
         self.n_submitted += int(labels.size)
         self._record(shard, labels, items)
-        return self._aggregator.submit((labels, items), shard=shard)
+        return self._aggregator.submit((labels, items), shard=shard, trace=trace)
 
     def drain(self) -> int:
         drained = self._aggregator.drain()
@@ -236,6 +247,9 @@ class AggregatorDrain(BatchDrain):
         # merge; merged()'s own internal drain is then a no-op.
         self.drain()
         return self._aggregator.merged()
+
+    def worker_metrics(self) -> list[dict]:
+        return self._aggregator.worker_metrics()
 
     def close(self) -> None:
         self._aggregator.close()
@@ -277,13 +291,24 @@ class SessionDrain(BatchDrain):
     def _decay_targets(self):
         return (self._target,)
 
-    def submit(self, labels, items) -> Future:
+    def submit(self, labels, items, trace=None) -> Future:
         labels, items = _as_batch(labels, items)
         self.n_submitted += int(labels.size)
         self._record(0, labels, items)
-        future = self._executor.submit(self._target.ingest_batch, (labels, items))
+        if trace is not None and _trace.get_tracer().enabled:
+            future = self._executor.submit(
+                self._traced_ingest, (labels, items), trace
+            )
+        else:
+            future = self._executor.submit(
+                self._target.ingest_batch, (labels, items)
+            )
         self._futures.append(future)
         return future
+
+    def _traced_ingest(self, batch, trace):
+        with _trace.get_tracer().span("session.ingest", trace, cat="shard"):
+            return self._target.ingest_batch(batch)
 
     def drain(self) -> int:
         futures, self._futures = self._futures, []

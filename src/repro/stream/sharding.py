@@ -36,12 +36,14 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from functools import reduce
 from typing import Callable, Optional, Sequence, Union
 
 from ..exceptions import ConfigurationError
 from ..obs import metrics as _obs
+from ..obs import trace as _trace
 from . import shm as _shm
 
 #: Anything shard-shaped: ingest_batch(batch) + merge(other).
@@ -81,18 +83,24 @@ def resolve_transport(transport: Optional[str]) -> str:
     return requested
 
 
-def _shard_worker_main(connection, state) -> None:
+def _shard_worker_main(connection, state, index: int = 0) -> None:
     """Persistent shard worker: hold ``state`` resident, serve commands.
 
     Commands arrive as tuples on ``connection``:
 
-    ``("ingest", "shm", (segment_name, manifest))`` /
-    ``("ingest", "pickle", batches)``
+    ``("ingest", "shm", (segment_name, manifest), telemetry)`` /
+    ``("ingest", "pickle", batches, telemetry)``
         Replay the batches into the state in order.  Ingestion runs
         against a ``copy()`` that only replaces the resident state when
         *every* batch succeeds, so a failed drain leaves the shard
         exactly as it was (all-or-nothing, matching the old pool
         semantics where a failed worker's state never came back).
+        ``telemetry`` is ``None`` on the fast path (reply payload is
+        the size list, unchanged); when the parent's telemetry plane is
+        live it is ``{"traces": [...], "metrics": bool}`` and the reply
+        payload becomes ``(sizes, spans, snapshot)`` — per-batch span
+        records parented on the shipped ``(trace_id, span_id)`` tuples,
+        plus this process's metrics snapshot for the parent to fold in.
     ``("snapshot",)``
         Reply with the resident state (the one place states are pickled).
     ``("stop",)``
@@ -100,6 +108,11 @@ def _shard_worker_main(connection, state) -> None:
 
     Replies are ``("ok", payload)`` or ``("error", exception)``.
     """
+    # The registry was fork-copied from the parent; its values belong to
+    # the parent's series.  Start from zero so a shipped-back snapshot
+    # counts only work this shard actually did.
+    _obs.get_registry().clear()
+    service = f"shard{index}"
     while True:
         command = connection.recv()
         kind = command[0]
@@ -111,6 +124,7 @@ def _shard_worker_main(connection, state) -> None:
             continue
         # kind == "ingest"
         transport, payload = command[1], command[2]
+        telemetry = command[3] if len(command) > 3 else None
         segment = None
         try:
             if transport == "shm":
@@ -118,11 +132,48 @@ def _shard_worker_main(connection, state) -> None:
                 segment, batches = _shm.attach_batches(name, manifest)
             else:
                 batches = payload
+            registry = _obs.get_registry()
+            if telemetry is not None and telemetry.get("metrics"):
+                registry.enable()
             work = state.copy()
-            sizes = [int(work.ingest_batch(batch) or 0) for batch in batches]
+            if telemetry is None:
+                sizes = [
+                    int(work.ingest_batch(batch) or 0) for batch in batches
+                ]
+                reply = sizes
+            else:
+                traces = telemetry.get("traces") or [None] * len(batches)
+                sizes, spans = [], []
+                for batch, wire in zip(batches, traces):
+                    if wire is None:
+                        sizes.append(int(work.ingest_batch(batch) or 0))
+                        continue
+                    trace_id, parent_id = wire
+                    start = time.time()
+                    clock = time.perf_counter()
+                    size = int(work.ingest_batch(batch) or 0)
+                    sizes.append(size)
+                    spans.append(
+                        {
+                            "name": "shard.ingest",
+                            "cat": "shard",
+                            "trace_id": trace_id,
+                            "span_id": _trace._new_id(),
+                            "parent_id": parent_id,
+                            "start": start,
+                            "duration": time.perf_counter() - clock,
+                            "service": service,
+                            "thread": "worker",
+                            "args": {"shard": index, "reports": size},
+                        }
+                    )
+                snapshot = (
+                    registry.snapshot() if telemetry.get("metrics") else None
+                )
+                reply = (sizes, spans, snapshot)
             del batches  # drop the views before unmapping the segment
             state = work
-            connection.send(("ok", sizes))
+            connection.send(("ok", reply))
         except BaseException as error:  # noqa: BLE001 - shipped to the parent
             connection.send(("error", error))
         finally:
@@ -132,31 +183,34 @@ def _shard_worker_main(connection, state) -> None:
 class _ShardWorker:
     """Parent-side handle on one persistent shard worker process."""
 
-    def __init__(self, state, transport: str) -> None:
+    def __init__(self, state, transport: str, index: int = 0) -> None:
         self.transport = transport
+        self.index = index
         context = multiprocessing.get_context()
         self._connection, child_connection = context.Pipe()
         self._process = context.Process(
             target=_shard_worker_main,
-            args=(child_connection, state),
+            args=(child_connection, state, index),
             daemon=True,
         )
         self._process.start()
         child_connection.close()
 
-    def send_ingest(self, batches):
+    def send_ingest(self, batches, telemetry=None):
         """Ship ``batches`` to the worker; returns the in-flight segment
         (``None`` on the pickle transport) for :meth:`recv_ingest`."""
         if self.transport == "shm":
             segment, manifest = _shm.pack_batches(batches)
             name = segment.name if segment is not None else None
             try:
-                self._connection.send(("ingest", "shm", (name, manifest)))
+                self._connection.send(
+                    ("ingest", "shm", (name, manifest), telemetry)
+                )
             except BaseException:
                 _shm.release(segment, unlink=True)
                 raise
             return segment
-        self._connection.send(("ingest", "pickle", batches))
+        self._connection.send(("ingest", "pickle", batches, telemetry))
         return None
 
     def recv_ingest(self, segment) -> list[int]:
@@ -298,11 +352,15 @@ class ShardedAggregator:
             # stays resident; self._shards becomes a snapshot cache that
             # partials()/merged()/close() refresh from the workers.
             self._workers = [
-                _ShardWorker(shard, self.transport) for shard in self._shards
+                _ShardWorker(shard, self.transport, index)
+                for index, shard in enumerate(self._shards)
             ]
-            # Per-shard FIFO of (batch, future) awaiting the next drain.
+            # Per-shard FIFO of (batch, future, trace) awaiting the drain.
             self._pending = [[] for _ in self._shards]
         self._futures: list[Future] = []
+        # Latest worker-process metrics snapshots, relabelled per shard
+        # (process mode only; populated when the parent registry is live).
+        self._worker_metrics: dict[int, dict] = {}
         self._next = 0
         self._closed = False
         self._snapshots_stale = False
@@ -317,7 +375,12 @@ class ShardedAggregator:
     def n_shards(self) -> int:
         return len(self._shards)
 
-    def submit(self, batch, shard: Optional[int] = None) -> Future:
+    def submit(
+        self,
+        batch,
+        shard: Optional[int] = None,
+        trace: Optional[_trace.TraceContext] = None,
+    ) -> Future:
         """Queue one batch for ingestion; returns its future.
 
         Batches rotate round-robin unless ``shard`` pins one.  ``batch``
@@ -325,6 +388,11 @@ class ShardedAggregator:
         every shard type accepts its tuple batch form that way (sessions
         take ``(labels, items)``, the OLH accumulator ``(a, b, r)``
         columns, the correlated accumulator ``(labels, bits)``).
+
+        ``trace`` attaches a :class:`~repro.obs.trace.TraceContext` to
+        the batch: the shard ingest records a child span (in-process for
+        the thread executor, shipped back from the worker process
+        otherwise).  ``None`` — the default — is the zero-cost path.
         """
         if self._closed:
             raise ConfigurationError("aggregator is closed")
@@ -340,13 +408,25 @@ class ShardedAggregator:
             # Process mode: queue locally; the batch ships at drain time
             # (or when the future itself is awaited).
             future: Future = _DeferredFuture(self._drain_process)
-            self._pending[shard].append((batch, future))
+            self._pending[shard].append((batch, future, trace))
             self._futures.append(future)
             return future
         target = self._shards[shard]
-        future = self._executors[shard].submit(target.ingest_batch, batch)
+        if trace is not None and _trace.get_tracer().enabled:
+            future = self._executors[shard].submit(
+                self._traced_ingest, target, batch, trace, shard
+            )
+        else:
+            future = self._executors[shard].submit(target.ingest_batch, batch)
         self._futures.append(future)
         return future
+
+    @staticmethod
+    def _traced_ingest(target, batch, trace, shard):
+        with _trace.get_tracer().span(
+            "shard.ingest", trace, cat="shard", shard=shard
+        ):
+            return target.ingest_batch(batch)
 
     def ingest(self, batches) -> int:
         """Submit every batch of an iterable, drain, and return the total
@@ -387,6 +467,12 @@ class ShardedAggregator:
     def _drain_process(self) -> int:
         if self._workers is None:  # closed: queues were drained then
             return 0
+        # When either telemetry plane is live, piggyback on the drain
+        # round-trip: ship trace contexts out, collect spans and metrics
+        # snapshots back.  ``None`` keeps the wire format untouched.
+        tracer = _trace.get_tracer()
+        want_metrics = _obs.get_registry().enabled
+        want_telemetry = tracer.enabled or want_metrics
         # Phase 1: ship every shard's queue — all workers start folding
         # concurrently before we collect any reply.
         inflight = []
@@ -396,28 +482,51 @@ class ShardedAggregator:
             pending, self._pending[index] = self._pending[index], []
             if not pending:
                 continue
-            batches = [batch for batch, _future in pending]
+            batches = [batch for batch, _future, _trace_ctx in pending]
+            telemetry = None
+            if want_telemetry:
+                traces = None
+                if tracer.enabled:
+                    traces = [
+                        None
+                        if ctx is None
+                        else (ctx.trace_id, ctx.span_id)
+                        for _batch, _future, ctx in pending
+                    ]
+                telemetry = {"traces": traces, "metrics": want_metrics}
             try:
-                segment = worker.send_ingest(batches)
+                segment = worker.send_ingest(batches, telemetry)
             except BaseException as error:  # noqa: BLE001 - parked on futures
-                for _batch, submit_future in pending:
+                for _batch, submit_future, _trace_ctx in pending:
                     submit_future.set_exception(error)
                 first_error = first_error or error
                 continue
             shipped_bytes += _shm.manifest_nbytes(segment)
-            inflight.append((worker, pending, segment))
+            inflight.append((worker, pending, segment, telemetry))
         # Phase 2: collect replies in shard order.
         total = 0
-        for worker, pending, segment in inflight:
+        for worker, pending, segment, telemetry in inflight:
             try:
-                sizes = worker.recv_ingest(segment)
+                reply = worker.recv_ingest(segment)
             except BaseException as error:  # noqa: BLE001 - re-raised below
-                for _batch, submit_future in pending:
+                for _batch, submit_future, _trace_ctx in pending:
                     submit_future.set_exception(error)
                 first_error = first_error or error
                 continue
+            if telemetry is None:
+                sizes = reply
+            else:
+                sizes, spans, snapshot = reply
+                if spans:
+                    tracer.adopt(spans)
+                if snapshot is not None:
+                    self._worker_metrics[worker.index] = _obs.relabel_snapshot(
+                        snapshot, worker=f"shard{worker.index}"
+                    )
             self._snapshots_stale = True
-            for (_batch, submit_future), size in zip(pending, sizes):
+            for (_batch, submit_future, _trace_ctx), size in zip(
+                pending, sizes
+            ):
                 submit_future.set_result(size)
                 total += size
         if inflight:
@@ -464,6 +573,19 @@ class ShardedAggregator:
         if len(self._shards) == 1:
             return self._shards[0].copy()
         return reduce(lambda left, right: left.merge(right), self._shards)
+
+    def worker_metrics(self) -> list[dict]:
+        """Latest metrics snapshots shipped back from the shard worker
+        processes, one per shard that has drained since the registry went
+        live.  Series are relabelled with ``worker="shard<i>"`` so they
+        merge next to — never over — the parent's own series (fold them
+        in with :func:`repro.obs.merge_snapshots`).  Thread mode shares
+        the parent registry, so this is empty there.
+        """
+        return [
+            self._worker_metrics[index]
+            for index in sorted(self._worker_metrics)
+        ]
 
     # ------------------------------------------------------------------
     # lifecycle

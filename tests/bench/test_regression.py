@@ -10,6 +10,7 @@ from repro.bench.regression import (
     DEFAULT_THRESHOLD,
     compare,
     compare_artifacts,
+    config_summary,
     extract_rates,
     main,
 )
@@ -105,6 +106,43 @@ class TestCompare:
         regressions, lines = compare({"cells": []}, {"cells": []})
         assert regressions == []
         assert any("no comparable" in line for line in lines)
+
+
+class TestTracingMeta:
+    def test_bench_meta_always_carries_the_tracing_block(self):
+        from repro.bench.reporting import bench_meta
+
+        meta = bench_meta()
+        tracing = meta["tracing"]
+        assert set(tracing) == {"enabled", "spans", "dropped"}
+        assert tracing["enabled"] is False  # suite runs untraced
+
+    def test_untraced_artifacts_carry_no_tracing_flag(self):
+        """Baselines written before the tracing block existed must
+        compare cleanly against fresh untraced runs."""
+        untraced = dict(
+            STREAM_PAYLOAD,
+            meta={"tracing": {"enabled": False, "spans": 0, "dropped": 0}},
+        )
+        assert config_summary(untraced) is None
+        _, lines = compare(STREAM_PAYLOAD, untraced)
+        assert not any("configurations differ" in line for line in lines)
+
+    def test_traced_run_flags_a_config_mismatch(self):
+        traced = dict(
+            STREAM_PAYLOAD,
+            meta={"tracing": {"enabled": True, "spans": 512, "dropped": 0}},
+        )
+        assert config_summary(traced) == "tracing=on"
+        _, lines = compare(STREAM_PAYLOAD, traced)
+        assert any("configurations differ" in line for line in lines)
+
+    def test_dropped_spans_surface_in_the_summary(self):
+        lossy = dict(
+            STREAM_PAYLOAD,
+            meta={"tracing": {"enabled": True, "spans": 9000, "dropped": 808}},
+        )
+        assert config_summary(lossy) == "tracing=on spans_dropped=808"
 
 
 class TestCLI:

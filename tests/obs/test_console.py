@@ -1,0 +1,132 @@
+"""repro-top rendering: the dashboard is a pure function over a STATS
+payload and a HEALTH verdict, so these tests drive it with fabricated
+samples."""
+
+from repro.obs.console import build_parser, render_dashboard
+
+
+def _stats(**overrides):
+    stats = {
+        "collector": {
+            "host": "127.0.0.1",
+            "port": 9000,
+            "connections_active": 2,
+            "reports_ingested": 120_000,
+            "frames": {"hello": 2, "reports": 40},
+            "frames_rejected": 0,
+        },
+        "sessions": [
+            {
+                "session": "cohort",
+                "kind": "framework",
+                "n_accepted": 120_000,
+                "pending": 512,
+                "stalled": False,
+                "stall_seconds": 0.0,
+            }
+        ],
+        "metrics": {
+            "counters": {
+                'serve_query_cache_hits_total{session="cohort"}': 3,
+                'serve_query_cache_misses_total{session="cohort"}': 1,
+            },
+            "gauges": {
+                'serve_ring_occupancy{session="cohort"}': 1024,
+                'serve_ring_capacity{session="cohort"}': 8192,
+            },
+        },
+    }
+    stats.update(overrides)
+    return stats
+
+
+def _health(status="pass", checks=()):
+    return {"schema": 1, "status": status, "checks": list(checks)}
+
+
+class TestRenderDashboard:
+    def test_plain_render_carries_the_session_row(self):
+        screen = render_dashboard(
+            _stats(),
+            _health(),
+            rates={"cohort": 2500.0},
+            color=False,
+            now=0.0,
+        )
+        assert "health: PASS" in screen
+        assert "sessions: 1" in screen
+        assert "ingested 120,000" in screen
+        assert "hello:2" in screen and "reports:40" in screen
+        row = next(line for line in screen.splitlines() if "cohort" in line)
+        assert "framework" in row
+        assert "120,000" in row
+        assert "2,500" in row  # the derived rate
+        assert "12%" in row  # ring occupancy 1024/8192
+        assert "75%" in row  # cache 3 hits / 4 lookups
+        assert "\x1b[" not in screen  # color=False means no ANSI at all
+
+    def test_stalled_session_marked(self):
+        stats = _stats()
+        stats["sessions"][0].update(stalled=True, stall_seconds=4.2)
+        screen = render_dashboard(stats, _health(), color=False)
+        assert "4.2s!" in screen
+
+    def test_checks_painted_with_verdicts(self):
+        health = _health(
+            status="warn",
+            checks=[
+                {
+                    "check": "ingest_lag",
+                    "status": "warn",
+                    "value": 0.61,
+                    "reason": "610 pending of 1000 high water",
+                    "session": "cohort",
+                },
+                {
+                    "check": "shard_imbalance",
+                    "status": "pass",
+                    "value": 0.0,
+                    "reason": "max-min shard skew of 0 batches",
+                },
+            ],
+        )
+        screen = render_dashboard(_stats(), health, color=False)
+        assert "health: WARN" in screen
+        assert "[warn] ingest_lag cohort: 610 pending of 1000 high water" in screen
+        assert "[pass] shard_imbalance:" in screen
+
+    def test_color_mode_paints_the_verdict(self):
+        screen = render_dashboard(_stats(), _health(status="fail"), color=True)
+        assert "\x1b[31mFAIL\x1b[0m" in screen
+
+    def test_empty_collector_renders_placeholders(self):
+        screen = render_dashboard(
+            {"collector": {}, "sessions": [], "metrics": {}},
+            _health(),
+            color=False,
+        )
+        assert "(no sessions yet)" in screen
+        assert "(none)" in screen
+
+    def test_missing_rate_and_ratios_render_dashes(self):
+        stats = _stats()
+        stats["metrics"] = {}
+        screen = render_dashboard(stats, _health(), color=False)
+        row = next(line for line in screen.splitlines() if "cohort" in line)
+        assert row.count(" -") >= 3  # rate, ring, and cache all unknown
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["9000"])
+        assert args.port == 9000
+        assert args.host == "127.0.0.1"
+        assert args.interval == 1.0
+        assert not args.once and not args.no_color
+
+    def test_flags(self):
+        args = build_parser().parse_args(
+            ["9000", "--host", "10.0.0.1", "--once", "--no-color"]
+        )
+        assert args.host == "10.0.0.1"
+        assert args.once and args.no_color

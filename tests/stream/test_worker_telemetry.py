@@ -1,0 +1,101 @@
+"""Shard-worker telemetry piggyback: worker-process MetricsRegistry
+snapshots ship back on drain replies, relabeled per worker, and fold
+into the parent's Prometheus rendering."""
+
+import numpy as np
+
+import repro.obs as obs
+from repro.obs import merge_snapshots, render_snapshot
+from repro.rng import spawn
+from repro.stream import ShardedAggregator, make_session
+
+
+def _sessions(n_shards=2, seed=5):
+    rng = np.random.default_rng(seed)
+    return [
+        make_session("pts", epsilon=2.0, n_classes=3, n_items=16, rng=child)
+        for child in spawn(rng, n_shards)
+    ]
+
+
+def _load(aggregator, n=12_000, seed=6):
+    rng = np.random.default_rng(seed)
+    labels = rng.integers(0, 3, n)
+    items = rng.integers(0, 16, n)
+    for start in range(0, n, 3_000):
+        aggregator.submit(
+            (labels[start : start + 3_000], items[start : start + 3_000])
+        )
+    aggregator.drain()
+    return n
+
+
+class TestWorkerMetricsPiggyback:
+    def test_worker_counters_appear_in_parent_prometheus_output(self):
+        """Acceptance: ingest counters minted inside shard worker
+        *processes* surface in the parent's merged /metrics rendering,
+        one relabeled series per worker."""
+        with obs.enabled() as registry:
+            with ShardedAggregator(
+                _sessions(), executor="process"
+            ) as aggregator:
+                n = _load(aggregator)
+                snapshots = aggregator.worker_metrics()
+
+            assert len(snapshots) == 2
+            counters = {}
+            for snapshot in snapshots:
+                counters.update(snapshot.get("counters", {}))
+            ingested = {
+                key: value
+                for key, value in counters.items()
+                if key.startswith("stream_ingested_total")
+            }
+            # every series is attributed to its worker, none collide
+            assert ingested
+            workers = {key.split('worker="')[1].split('"')[0] for key in ingested}
+            assert workers == {"shard0", "shard1"}
+            assert sum(ingested.values()) == n
+
+            rendered = render_snapshot(
+                merge_snapshots([registry.snapshot(), *snapshots])
+            )
+        assert 'worker="shard0"' in rendered
+        assert 'worker="shard1"' in rendered
+        assert "stream_ingested_total" in rendered
+
+    def test_no_telemetry_shipped_while_registry_disabled(self):
+        """With the parent registry off (the default), drain replies stay
+        in the legacy sizes-only shape and nothing is collected."""
+        assert not obs.get_registry().enabled
+        with ShardedAggregator(_sessions(), executor="process") as aggregator:
+            _load(aggregator)
+            assert aggregator.worker_metrics() == []
+
+    def test_thread_executor_reports_no_worker_snapshots(self):
+        """Thread shards share the parent registry: their counts are
+        already in the parent snapshot, so no piggyback duplicates them."""
+        with obs.enabled():
+            with ShardedAggregator(
+                _sessions(), executor="thread"
+            ) as aggregator:
+                _load(aggregator)
+                assert aggregator.worker_metrics() == []
+
+    def test_repeated_drains_replace_not_accumulate(self):
+        """A later drain replaces each worker's snapshot (cumulative
+        counters would double-count if merged additively)."""
+        with obs.enabled():
+            with ShardedAggregator(
+                _sessions(), executor="process"
+            ) as aggregator:
+                first_n = _load(aggregator, n=6_000, seed=7)
+                second_n = _load(aggregator, n=6_000, seed=8)
+                snapshots = aggregator.worker_metrics()
+            totals = sum(
+                value
+                for snapshot in snapshots
+                for key, value in snapshot.get("counters", {}).items()
+                if key.startswith("stream_ingested_total")
+            )
+            assert totals == first_n + second_n
